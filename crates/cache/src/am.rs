@@ -1,0 +1,320 @@
+//! The attraction memory: a node's entire memory organized as a huge
+//! set-associative cache with COMA states (paper §2, §3.1).
+//!
+//! Unlike a conventional cache, an AM cannot silently drop everything:
+//! `Owner`/`Exclusive` lines are the *responsible* copies and must be
+//! relocated ("injected") into another node on replacement, because there
+//! is no backing main memory. [`AttractionMemory::make_room`] implements
+//! the paper's victim priority (Shared replicas first), and
+//! [`AttractionMemory::accept_slot`] implements the receiving side of the
+//! accept-based replacement strategy (Invalid slots before Shared slots,
+//! so that injections never cascade).
+
+use crate::policy::{AcceptPolicy, VictimPolicy};
+use crate::set_assoc::SetAssoc;
+use crate::state::AmState;
+use coma_types::LineNum;
+
+/// What a full (or non-full) set must sacrifice to admit a new line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Victim {
+    /// The set has a free slot; nothing is displaced.
+    FreeSlot,
+    /// A Shared replica is dropped silently (an Owner survives elsewhere).
+    DropShared(LineNum),
+    /// A responsible copy is displaced and must be injected elsewhere.
+    Inject(LineNum, AmState),
+}
+
+/// What a receiving node would sacrifice to accept an injected line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcceptSlot {
+    /// A free (Invalid) slot: the preferred receiver.
+    Invalid,
+    /// A Shared replica that would be overwritten (shrinking replication).
+    Shared(LineNum),
+}
+
+/// One node's attraction memory.
+#[derive(Clone, Debug)]
+pub struct AttractionMemory {
+    array: SetAssoc<AmState>,
+    victim_policy: VictimPolicy,
+}
+
+impl AttractionMemory {
+    pub fn new(n_sets: u64, assoc: usize, victim_policy: VictimPolicy) -> Self {
+        AttractionMemory {
+            array: SetAssoc::new(n_sets, assoc),
+            victim_policy,
+        }
+    }
+
+    /// Current state of a line (Invalid if absent). Does not touch LRU.
+    pub fn state(&self, line: LineNum) -> AmState {
+        self.array
+            .peek(line)
+            .map(|e| e.state)
+            .unwrap_or(AmState::Invalid)
+    }
+
+    /// State of a line, marking it most-recently-used.
+    pub fn touch(&mut self, line: LineNum) -> AmState {
+        self.array
+            .lookup(line)
+            .map(|e| e.state)
+            .unwrap_or(AmState::Invalid)
+    }
+
+    /// Transition a resident line to a new valid state; no-op if absent.
+    pub fn set_state(&mut self, line: LineNum, state: AmState) {
+        if state.is_valid() {
+            self.array.set_state(line, state);
+        } else {
+            self.array.remove(line);
+        }
+    }
+
+    /// Remove a line (invalidation); returns its previous state.
+    pub fn remove(&mut self, line: LineNum) -> AmState {
+        self.array.remove(line).unwrap_or(AmState::Invalid)
+    }
+
+    /// Decide what must be displaced so that `line` can be inserted into
+    /// its set. Does **not** perform the insertion or the displacement.
+    pub fn make_room(&self, line: LineNum) -> Victim {
+        if self.array.has_free_slot(line) {
+            return Victim::FreeSlot;
+        }
+        match self.victim_policy {
+            VictimPolicy::SharedFirst => {
+                if let Some(e) = self.array.lru_matching(line, |e| e.state == AmState::Shared) {
+                    Victim::DropShared(e.line)
+                } else {
+                    let e = self
+                        .array
+                        .lru_matching(line, |_| true)
+                        .expect("full set is non-empty");
+                    Victim::Inject(e.line, e.state)
+                }
+            }
+            VictimPolicy::StrictLru => {
+                let e = self
+                    .array
+                    .lru_matching(line, |_| true)
+                    .expect("full set is non-empty");
+                if e.state == AmState::Shared {
+                    Victim::DropShared(e.line)
+                } else {
+                    Victim::Inject(e.line, e.state)
+                }
+            }
+        }
+    }
+
+    /// Would this node accept an injection of `line` under `policy`, and
+    /// at what cost? `None` means the set is entirely Owner/Exclusive and
+    /// acceptance would cascade — so the node refuses (paper: the accept
+    /// mechanism avoids avalanching replacements).
+    ///
+    /// A node that already holds the line cannot be its receiver.
+    pub fn accept_slot(&self, line: LineNum, policy: AcceptPolicy) -> Option<AcceptSlot> {
+        if self.state(line).is_valid() {
+            return None;
+        }
+        let free = self.array.has_free_slot(line);
+        let shared = self
+            .array
+            .lru_matching(line, |e| e.state == AmState::Shared)
+            .map(|e| AcceptSlot::Shared(e.line));
+        match policy {
+            AcceptPolicy::InvalidThenShared => {
+                if free {
+                    Some(AcceptSlot::Invalid)
+                } else {
+                    shared
+                }
+            }
+            AcceptPolicy::SharedThenInvalid => {
+                shared.or(if free { Some(AcceptSlot::Invalid) } else { None })
+            }
+            AcceptPolicy::FirstFit => {
+                if free {
+                    Some(AcceptSlot::Invalid)
+                } else {
+                    shared
+                }
+            }
+        }
+    }
+
+    /// Insert a line known to be absent, into a set known to have room.
+    pub fn insert(&mut self, line: LineNum, state: AmState) {
+        debug_assert!(state.is_valid());
+        self.array.insert(line, state);
+    }
+
+    /// Resident line count.
+    pub fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.array.is_empty()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> u64 {
+        self.array.n_sets() * self.array.assoc() as u64
+    }
+
+    /// Count of resident lines per state `(shared, owner, exclusive)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut s = 0;
+        let mut o = 0;
+        let mut e = 0;
+        for entry in self.array.iter() {
+            match entry.state {
+                AmState::Shared => s += 1,
+                AmState::Owner => o += 1,
+                AmState::Exclusive => e += 1,
+                AmState::Invalid => unreachable!("invalid entries are not stored"),
+            }
+        }
+        (s, o, e)
+    }
+
+    /// Iterate resident lines (for invariant checks).
+    pub fn lines(&self) -> impl Iterator<Item = (LineNum, AmState)> + '_ {
+        self.array.iter().map(|e| (e.line, e.state))
+    }
+
+    pub fn n_sets(&self) -> u64 {
+        self.array.n_sets()
+    }
+
+    pub fn assoc(&self) -> usize {
+        self.array.assoc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn am(n_sets: u64, assoc: usize) -> AttractionMemory {
+        AttractionMemory::new(n_sets, assoc, VictimPolicy::SharedFirst)
+    }
+
+    #[test]
+    fn empty_set_has_free_slot() {
+        let a = am(4, 2);
+        assert_eq!(a.make_room(LineNum(0)), Victim::FreeSlot);
+    }
+
+    #[test]
+    fn shared_victim_preferred_over_owner() {
+        let mut a = am(1, 2);
+        a.insert(LineNum(0), AmState::Owner);
+        a.insert(LineNum(1), AmState::Shared);
+        // Owner is older (LRU) but Shared is the victim under SharedFirst.
+        assert_eq!(a.make_room(LineNum(2)), Victim::DropShared(LineNum(1)));
+    }
+
+    #[test]
+    fn all_responsible_forces_injection() {
+        let mut a = am(1, 2);
+        a.insert(LineNum(0), AmState::Exclusive);
+        a.insert(LineNum(1), AmState::Owner);
+        // LRU is line 0 (inserted first, never touched).
+        assert_eq!(
+            a.make_room(LineNum(2)),
+            Victim::Inject(LineNum(0), AmState::Exclusive)
+        );
+    }
+
+    #[test]
+    fn strict_lru_injects_even_with_shared_present() {
+        let mut a = AttractionMemory::new(1, 2, VictimPolicy::StrictLru);
+        a.insert(LineNum(0), AmState::Owner);
+        a.insert(LineNum(1), AmState::Shared);
+        assert_eq!(
+            a.make_room(LineNum(2)),
+            Victim::Inject(LineNum(0), AmState::Owner)
+        );
+    }
+
+    #[test]
+    fn accept_prefers_invalid_slot() {
+        let mut a = am(1, 2);
+        a.insert(LineNum(1), AmState::Shared);
+        assert_eq!(
+            a.accept_slot(LineNum(2), AcceptPolicy::InvalidThenShared),
+            Some(AcceptSlot::Invalid)
+        );
+    }
+
+    #[test]
+    fn accept_overwrites_shared_when_full() {
+        let mut a = am(1, 2);
+        a.insert(LineNum(1), AmState::Shared);
+        a.insert(LineNum(3), AmState::Owner);
+        assert_eq!(
+            a.accept_slot(LineNum(2), AcceptPolicy::InvalidThenShared),
+            Some(AcceptSlot::Shared(LineNum(1)))
+        );
+    }
+
+    #[test]
+    fn accept_refuses_all_responsible_set() {
+        let mut a = am(1, 2);
+        a.insert(LineNum(1), AmState::Owner);
+        a.insert(LineNum(3), AmState::Exclusive);
+        assert_eq!(a.accept_slot(LineNum(2), AcceptPolicy::InvalidThenShared), None);
+    }
+
+    #[test]
+    fn holder_cannot_accept_its_own_line() {
+        let mut a = am(1, 4);
+        a.insert(LineNum(2), AmState::Shared);
+        assert_eq!(a.accept_slot(LineNum(2), AcceptPolicy::InvalidThenShared), None);
+    }
+
+    #[test]
+    fn shared_then_invalid_sacrifices_replica_first() {
+        let mut a = am(1, 2);
+        a.insert(LineNum(1), AmState::Shared);
+        assert_eq!(
+            a.accept_slot(LineNum(2), AcceptPolicy::SharedThenInvalid),
+            Some(AcceptSlot::Shared(LineNum(1)))
+        );
+    }
+
+    #[test]
+    fn census_counts_states() {
+        let mut a = am(4, 2);
+        a.insert(LineNum(0), AmState::Shared);
+        a.insert(LineNum(1), AmState::Owner);
+        a.insert(LineNum(2), AmState::Exclusive);
+        a.insert(LineNum(3), AmState::Exclusive);
+        assert_eq!(a.census(), (1, 1, 2));
+    }
+
+    #[test]
+    fn set_state_invalid_removes() {
+        let mut a = am(4, 2);
+        a.insert(LineNum(0), AmState::Shared);
+        a.set_state(LineNum(0), AmState::Invalid);
+        assert_eq!(a.state(LineNum(0)), AmState::Invalid);
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn touch_changes_lru_victim() {
+        let mut a = am(1, 2);
+        a.insert(LineNum(0), AmState::Shared);
+        a.insert(LineNum(1), AmState::Shared);
+        a.touch(LineNum(0)); // now line 1 is LRU
+        assert_eq!(a.make_room(LineNum(2)), Victim::DropShared(LineNum(1)));
+    }
+}

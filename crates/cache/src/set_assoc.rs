@@ -1,0 +1,253 @@
+//! Generic set-associative cache array with true-LRU within each set.
+//!
+//! Only valid entries are stored, so a set with free capacity simply has
+//! fewer than `assoc` entries. LRU is tracked with a monotone per-cache
+//! tick; with ≤ 8 ways a linear scan is faster than any fancier structure.
+
+use coma_types::LineNum;
+
+/// One valid cache entry.
+#[derive(Clone, Debug)]
+pub struct Entry<S> {
+    pub line: LineNum,
+    pub state: S,
+    /// Last-use tick for LRU ordering (larger = more recent).
+    pub lru: u64,
+}
+
+/// A set-associative array of `n_sets × assoc` line slots.
+#[derive(Clone, Debug)]
+pub struct SetAssoc<S> {
+    n_sets: u64,
+    assoc: usize,
+    sets: Vec<Vec<Entry<S>>>,
+    tick: u64,
+}
+
+impl<S: Copy> SetAssoc<S> {
+    /// Create an empty array. `n_sets` and `assoc` must be non-zero.
+    pub fn new(n_sets: u64, assoc: usize) -> Self {
+        assert!(n_sets > 0 && assoc > 0);
+        SetAssoc {
+            n_sets,
+            assoc,
+            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    pub fn n_sets(&self) -> u64 {
+        self.n_sets
+    }
+
+    #[inline]
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Total valid entries across all sets.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Set index for a line.
+    #[inline]
+    pub fn set_of(&self, line: LineNum) -> u64 {
+        line.set_index(self.n_sets)
+    }
+
+    /// Look up a line without touching LRU state.
+    pub fn peek(&self, line: LineNum) -> Option<&Entry<S>> {
+        self.sets[self.set_of(line) as usize]
+            .iter()
+            .find(|e| e.line == line)
+    }
+
+    /// Look up a line, marking it most-recently-used on hit.
+    pub fn lookup(&mut self, line: LineNum) -> Option<&mut Entry<S>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line) as usize;
+        let e = self.sets[set].iter_mut().find(|e| e.line == line)?;
+        e.lru = tick;
+        Some(e)
+    }
+
+    /// Update the state of a resident line; returns false if not present.
+    pub fn set_state(&mut self, line: LineNum, state: S) -> bool {
+        let set = self.set_of(line) as usize;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.line == line) {
+            e.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a line; returns its state if it was present.
+    pub fn remove(&mut self, line: LineNum) -> Option<S> {
+        let set = self.set_of(line) as usize;
+        let idx = self.sets[set].iter().position(|e| e.line == line)?;
+        Some(self.sets[set].swap_remove(idx).state)
+    }
+
+    /// Does the line's set have a free slot?
+    pub fn has_free_slot(&self, line: LineNum) -> bool {
+        self.sets[self.set_of(line) as usize].len() < self.assoc
+    }
+
+    /// Insert a line known to be absent. Panics (debug) if the set is full
+    /// or the line already resident — callers must evict first.
+    pub fn insert(&mut self, line: LineNum, state: S) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line) as usize;
+        debug_assert!(self.sets[set].len() < self.assoc, "insert into full set");
+        debug_assert!(
+            !self.sets[set].iter().any(|e| e.line == line),
+            "duplicate insert"
+        );
+        self.sets[set].push(Entry { line, state, lru: tick });
+    }
+
+    /// Iterate over the valid entries of the set that `line` maps to.
+    pub fn set_entries(&self, line: LineNum) -> &[Entry<S>] {
+        &self.sets[self.set_of(line) as usize]
+    }
+
+    /// Least-recently-used entry of `line`'s set among entries matching
+    /// `pred`, or `None` if none match.
+    pub fn lru_matching(
+        &self,
+        line: LineNum,
+        mut pred: impl FnMut(&Entry<S>) -> bool,
+    ) -> Option<&Entry<S>> {
+        self.sets[self.set_of(line) as usize]
+            .iter()
+            .filter(|e| pred(e))
+            .min_by_key(|e| e.lru)
+    }
+
+    /// Iterate over all valid entries (diagnostics / invariant checks).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<S>> {
+        self.sets.iter().flatten()
+    }
+
+    /// Remove every entry failing the predicate, calling `on_evict` for each.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Entry<S>) -> bool, mut on_evict: impl FnMut(&Entry<S>)) {
+        for set in &mut self.sets {
+            set.retain(|e| {
+                let k = keep(e);
+                if !k {
+                    on_evict(e);
+                }
+                k
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(n_sets: u64, assoc: usize) -> SetAssoc<u8> {
+        SetAssoc::new(n_sets, assoc)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = arr(4, 2);
+        c.insert(LineNum(5), 1);
+        assert_eq!(c.lookup(LineNum(5)).unwrap().state, 1);
+        assert!(c.lookup(LineNum(9)).is_none()); // same set (9 % 4 == 1), absent
+    }
+
+    #[test]
+    fn free_slot_tracking() {
+        let mut c = arr(4, 2);
+        assert!(c.has_free_slot(LineNum(0)));
+        c.insert(LineNum(0), 0);
+        assert!(c.has_free_slot(LineNum(0)));
+        c.insert(LineNum(4), 0); // same set
+        assert!(!c.has_free_slot(LineNum(0)));
+        assert!(c.has_free_slot(LineNum(1))); // different set untouched
+    }
+
+    #[test]
+    fn lru_order_follows_access() {
+        let mut c = arr(1, 3);
+        c.insert(LineNum(0), 0);
+        c.insert(LineNum(1), 0);
+        c.insert(LineNum(2), 0);
+        // Touch 0, making 1 the LRU.
+        c.lookup(LineNum(0));
+        let lru = c.lru_matching(LineNum(0), |_| true).unwrap();
+        assert_eq!(lru.line, LineNum(1));
+    }
+
+    #[test]
+    fn lru_matching_respects_predicate() {
+        let mut c = arr(1, 3);
+        c.insert(LineNum(0), 10);
+        c.insert(LineNum(1), 20);
+        c.insert(LineNum(2), 10);
+        let lru20 = c.lru_matching(LineNum(0), |e| e.state == 20).unwrap();
+        assert_eq!(lru20.line, LineNum(1));
+        assert!(c.lru_matching(LineNum(0), |e| e.state == 99).is_none());
+    }
+
+    #[test]
+    fn remove_returns_state() {
+        let mut c = arr(2, 2);
+        c.insert(LineNum(3), 7);
+        assert_eq!(c.remove(LineNum(3)), Some(7));
+        assert_eq!(c.remove(LineNum(3)), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn set_state_in_place() {
+        let mut c = arr(2, 2);
+        c.insert(LineNum(3), 7);
+        assert!(c.set_state(LineNum(3), 9));
+        assert_eq!(c.peek(LineNum(3)).unwrap().state, 9);
+        assert!(!c.set_state(LineNum(5), 1));
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = arr(1, 2);
+        c.insert(LineNum(0), 0);
+        c.insert(LineNum(1), 0);
+        c.peek(LineNum(0));
+        // 0 was inserted first and peek didn't refresh it: still LRU.
+        assert_eq!(c.lru_matching(LineNum(0), |_| true).unwrap().line, LineNum(0));
+    }
+
+    #[test]
+    fn retain_evicts_and_reports() {
+        let mut c = arr(2, 2);
+        c.insert(LineNum(0), 1);
+        c.insert(LineNum(1), 2);
+        c.insert(LineNum(2), 1);
+        let mut evicted = Vec::new();
+        c.retain(|e| e.state != 1, |e| evicted.push(e.line));
+        assert_eq!(c.len(), 1);
+        assert_eq!(evicted.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn duplicate_insert_panics_in_debug() {
+        let mut c = arr(2, 2);
+        c.insert(LineNum(0), 0);
+        c.insert(LineNum(0), 0);
+    }
+}

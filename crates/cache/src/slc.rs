@@ -1,0 +1,176 @@
+//! Second-level cache: per-processor, set-associative, write-back, MSI.
+//!
+//! The SLC is sized at working-set/128 (paper §3.1) and sits between the
+//! processor's FLC and the node's attraction memory. Inclusion holds in
+//! both directions relevant to the protocol: every SLC line is present in
+//! the node's AM, and a `Modified` SLC line implies the AM holds the line
+//! `Exclusive`. Evicted Modified lines are written back into the AM (which
+//! already has a slot for them, so SLC evictions never trigger AM
+//! replacements).
+
+use crate::set_assoc::SetAssoc;
+use crate::state::SlcState;
+use coma_types::LineNum;
+
+/// A per-processor second-level cache.
+#[derive(Clone, Debug)]
+pub struct Slc {
+    array: SetAssoc<SlcState>,
+}
+
+impl Slc {
+    pub fn new(n_sets: u64, assoc: usize) -> Self {
+        Slc {
+            array: SetAssoc::new(n_sets, assoc),
+        }
+    }
+
+    /// State of a resident line (Invalid if absent). Touches LRU.
+    pub fn lookup(&mut self, line: LineNum) -> SlcState {
+        self.array
+            .lookup(line)
+            .map(|e| e.state)
+            .unwrap_or(SlcState::Invalid)
+    }
+
+    /// State without touching LRU.
+    pub fn peek(&self, line: LineNum) -> SlcState {
+        self.array
+            .peek(line)
+            .map(|e| e.state)
+            .unwrap_or(SlcState::Invalid)
+    }
+
+    /// Insert a line, evicting the set's LRU entry if the set is full.
+    /// Returns the evicted `(line, state)` if any; a `Modified` eviction
+    /// must be written back to the AM by the caller.
+    pub fn insert(&mut self, line: LineNum, state: SlcState) -> Option<(LineNum, SlcState)> {
+        debug_assert!(state.is_valid());
+        if self.array.peek(line).is_some() {
+            self.array.set_state(line, state);
+            return None;
+        }
+        let evicted = if self.array.has_free_slot(line) {
+            None
+        } else {
+            let victim = self
+                .array
+                .lru_matching(line, |_| true)
+                .map(|e| (e.line, e.state))
+                .expect("full set has entries");
+            self.array.remove(victim.0);
+            Some(victim)
+        };
+        self.array.insert(line, state);
+        evicted
+    }
+
+    /// Change the state of a resident line; no-op if absent.
+    pub fn set_state(&mut self, line: LineNum, state: SlcState) {
+        if state.is_valid() {
+            self.array.set_state(line, state);
+        } else {
+            self.array.remove(line);
+        }
+    }
+
+    /// Invalidate (coherence or AM-inclusion). Returns the previous state.
+    pub fn invalidate(&mut self, line: LineNum) -> SlcState {
+        self.array.remove(line).unwrap_or(SlcState::Invalid)
+    }
+
+    /// Downgrade Modified → Shared (another reader appeared). Returns true
+    /// if the line was Modified (i.e. a writeback of current data occurs).
+    pub fn downgrade(&mut self, line: LineNum) -> bool {
+        match self.array.peek(line).map(|e| e.state) {
+            Some(SlcState::Modified) => {
+                self.array.set_state(line, SlcState::Shared);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.array.is_empty()
+    }
+
+    /// Iterate resident lines (for invariant checks).
+    pub fn lines(&self) -> impl Iterator<Item = (LineNum, SlcState)> + '_ {
+        self.array.iter().map(|e| (e.line, e.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut s = Slc::new(4, 2);
+        assert_eq!(s.lookup(LineNum(1)), SlcState::Invalid);
+        s.insert(LineNum(1), SlcState::Shared);
+        assert_eq!(s.lookup(LineNum(1)), SlcState::Shared);
+    }
+
+    #[test]
+    fn eviction_returns_victim() {
+        let mut s = Slc::new(1, 2);
+        s.insert(LineNum(0), SlcState::Shared);
+        s.insert(LineNum(1), SlcState::Modified);
+        // Touch 1 so 0 is LRU.
+        s.lookup(LineNum(1));
+        let ev = s.insert(LineNum(2), SlcState::Shared);
+        assert_eq!(ev, Some((LineNum(0), SlcState::Shared)));
+        assert_eq!(s.peek(LineNum(0)), SlcState::Invalid);
+    }
+
+    #[test]
+    fn modified_eviction_reported_for_writeback() {
+        let mut s = Slc::new(1, 1);
+        s.insert(LineNum(0), SlcState::Modified);
+        let ev = s.insert(LineNum(1), SlcState::Shared);
+        assert_eq!(ev, Some((LineNum(0), SlcState::Modified)));
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut s = Slc::new(1, 1);
+        s.insert(LineNum(0), SlcState::Shared);
+        let ev = s.insert(LineNum(0), SlcState::Modified);
+        assert_eq!(ev, None);
+        assert_eq!(s.peek(LineNum(0)), SlcState::Modified);
+    }
+
+    #[test]
+    fn invalidate_returns_previous() {
+        let mut s = Slc::new(2, 2);
+        s.insert(LineNum(0), SlcState::Modified);
+        assert_eq!(s.invalidate(LineNum(0)), SlcState::Modified);
+        assert_eq!(s.invalidate(LineNum(0)), SlcState::Invalid);
+    }
+
+    #[test]
+    fn downgrade_only_modified() {
+        let mut s = Slc::new(2, 2);
+        s.insert(LineNum(0), SlcState::Modified);
+        s.insert(LineNum(1), SlcState::Shared);
+        assert!(s.downgrade(LineNum(0)));
+        assert_eq!(s.peek(LineNum(0)), SlcState::Shared);
+        assert!(!s.downgrade(LineNum(1)));
+        assert!(!s.downgrade(LineNum(7)));
+    }
+
+    #[test]
+    fn set_state_invalid_removes() {
+        let mut s = Slc::new(2, 2);
+        s.insert(LineNum(0), SlcState::Shared);
+        s.set_state(LineNum(0), SlcState::Invalid);
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Tiny dependency-free flag parser for the `coma` binary.
+//!
+//! Supports `--flag value`, `--flag=value` and bare subcommands; unknown
+//! flags are errors so typos fail loudly.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse an iterator of arguments (excluding `argv[0]`).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = argv.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(rest) = a.strip_prefix("--") {
+                let (key, val) = match rest.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| format!("--{rest} needs a value"))?;
+                        (rest.to_string(), v)
+                    }
+                };
+                if out.options.insert(key.clone(), val).is_some() {
+                    return Err(format!("--{key} given twice"));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Typed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Error on any option not in the allowed set (catches typos).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown option --{k} (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse("run --app fft --ppn 4").unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("app"), Some("fft"));
+        assert_eq!(a.get_or("ppn", 1usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = parse("run --mp=81").unwrap();
+        assert_eq!(a.get("mp"), Some("81"));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse("run --app").is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_error() {
+        assert!(parse("run --app fft --app lu").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detected() {
+        let a = parse("run --frobnicate 3").unwrap();
+        assert!(a.expect_only(&["app"]).is_err());
+        assert!(a.expect_only(&["frobnicate"]).is_ok());
+    }
+
+    #[test]
+    fn default_used_when_absent() {
+        let a = parse("run").unwrap();
+        assert_eq!(a.get_or("ppn", 2usize).unwrap(), 2);
+    }
+
+    #[test]
+    fn second_positional_is_error() {
+        assert!(parse("run twice").is_err());
+    }
+}

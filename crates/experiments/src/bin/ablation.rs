@@ -1,0 +1,76 @@
+//! Design-choice ablations (DESIGN.md §8) — quantifying the protocol
+//! decisions the paper takes as given:
+//!
+//! * victim priority (Shared-first vs strict LRU),
+//! * injection accept priority (Invalid-then-Shared vs Shared-then-Invalid
+//!   vs first-fit),
+//! * write-buffer depth under release consistency (0 / 2 / 10 / 64),
+//! * intra-node dirty SLC-to-SLC transfers on/off.
+
+use coma_cache::{AcceptPolicy, VictimPolicy};
+use coma_experiments::ExpCtx;
+use coma_sim::{run_simulation, SimParams};
+use coma_stats::Table;
+use coma_types::MemoryPressure;
+use coma_workloads::AppId;
+
+const APPS: [AppId; 4] = [AppId::Fft, AppId::OceanNon, AppId::Barnes, AppId::WaterN2];
+
+fn run(ctx: &ExpCtx, app: AppId, f: impl Fn(&mut SimParams)) -> (u64, u64) {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = 4;
+    params.machine.memory_pressure = MemoryPressure::MP_81;
+    f(&mut params);
+    let wl = app.build(16, ctx.seed, ctx.scale);
+    let r = run_simulation(wl, &params);
+    (r.exec_time_ns, r.traffic.total_bytes())
+}
+
+fn main() {
+    let ctx = ExpCtx::from_env();
+
+    println!("Ablations at 4-way clustering, 81.25% MP\n");
+
+    let mut t = Table::new(vec!["Application", "variant", "exec vs base", "traffic vs base"]);
+    for app in APPS {
+        let (base_t, base_b) = run(&ctx, app, |_| {});
+        let mut row = |name: &str, r: (u64, u64)| {
+            t.row(vec![
+                app.name().to_string(),
+                name.to_string(),
+                format!("{:+.1}%", (r.0 as f64 / base_t as f64 - 1.0) * 100.0),
+                format!("{:+.1}%", (r.1 as f64 / base_b as f64 - 1.0) * 100.0),
+            ]);
+        };
+        row(
+            "victim: strict LRU",
+            run(&ctx, app, |p| p.victim_policy = VictimPolicy::StrictLru),
+        );
+        row(
+            "accept: shared-first",
+            run(&ctx, app, |p| p.accept_policy = AcceptPolicy::SharedThenInvalid),
+        );
+        row(
+            "accept: first-fit",
+            run(&ctx, app, |p| p.accept_policy = AcceptPolicy::FirstFit),
+        );
+        row(
+            "WB depth 0 (blocking writes)",
+            run(&ctx, app, |p| p.machine.write_buffer_entries = 0),
+        );
+        row(
+            "WB depth 2",
+            run(&ctx, app, |p| p.machine.write_buffer_entries = 2),
+        );
+        row(
+            "WB depth 64",
+            run(&ctx, app, |p| p.machine.write_buffer_entries = 64),
+        );
+        row(
+            "no intra-node transfers",
+            run(&ctx, app, |p| p.machine.intra_node_transfers = false),
+        );
+    }
+    println!("{}", t.render());
+    ctx.write_csv("ablation", &t);
+}

@@ -1,0 +1,27 @@
+//! Run every experiment in sequence (Table 1, Figures 2–5, sensitivity,
+//! thresholds, ablations) by invoking the sibling binaries.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in [
+        "table1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "sensitivity",
+        "thresholds",
+        "coma_vs_numa",
+        "inclusion",
+        "ablation",
+    ] {
+        println!("\n=== {bin} ===\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

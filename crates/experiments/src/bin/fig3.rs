@@ -1,0 +1,73 @@
+//! Figure 3 — global bus traffic (read / write / replacement) for 1- and
+//! 4-processor nodes at 6.25 %, 50 %, 75 %, 81.25 % and 87.5 % memory
+//! pressure, for the eight applications where clustering is consistently
+//! effective.
+//!
+//! As in the paper, bars are normalized per application to the largest
+//! bar (100 %).
+
+use coma_experiments::{run_grid, ExpCtx, RunSpec};
+use coma_stats::{Bar, BarChart, Table};
+use coma_types::MemoryPressure;
+use coma_workloads::AppId;
+
+fn main() {
+    let ctx = ExpCtx::from_env();
+    let mps = MemoryPressure::PAPER_SWEEP;
+
+    let mut t = Table::new(vec![
+        "Application",
+        "ppn",
+        "MP",
+        "read%",
+        "write%",
+        "replace%",
+        "total%",
+        "bytes",
+    ]);
+    let mut chart = BarChart::new(
+        "Figure 3: traffic for 1 and 4-processor nodes",
+        vec!["read".into(), "write".into(), "replace".into()],
+        "% of largest bar",
+    );
+    for app in AppId::FIG3_GROUP {
+        let specs: Vec<RunSpec> = [1usize, 4]
+            .into_iter()
+            .flat_map(|ppn| mps.map(|mp| RunSpec::new(app, ppn, mp)))
+            .collect();
+        let reports = run_grid(&ctx, &specs);
+        let max = reports
+            .iter()
+            .map(|r| r.traffic.total_bytes())
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        let g = chart.group(app.name());
+        for (spec, r) in specs.iter().zip(&reports) {
+            let tr = &r.traffic;
+            g.bars.push(Bar {
+                label: format!("{}p@{}", spec.procs_per_node, spec.memory_pressure),
+                segments: vec![
+                    tr.read_bytes as f64 / max * 100.0,
+                    tr.write_bytes as f64 / max * 100.0,
+                    tr.replace_bytes as f64 / max * 100.0,
+                ],
+            });
+            t.row(vec![
+                app.name().to_string(),
+                spec.procs_per_node.to_string(),
+                spec.memory_pressure.to_string(),
+                format!("{:.1}", tr.read_bytes as f64 / max * 100.0),
+                format!("{:.1}", tr.write_bytes as f64 / max * 100.0),
+                format!("{:.1}", tr.replace_bytes as f64 / max * 100.0),
+                format!("{:.1}", tr.total_bytes() as f64 / max * 100.0),
+                tr.total_bytes().to_string(),
+            ]);
+        }
+    }
+    println!("Figure 3: traffic for 1 and 4-processor nodes across memory pressures");
+    println!("(read/write/replace segments, % of each application's largest bar)\n");
+    println!("{}", t.render());
+    ctx.write_csv("fig3", &t);
+    ctx.write_svg("fig3", &chart);
+}

@@ -1,0 +1,89 @@
+//! Figure 5 — execution time, decomposed into Busy / SLC-stall /
+//! AM-stall / Remote-stall, for single-processor nodes at 50 % and
+//! 81.25 % MP and 4-processor nodes at 81.25 % MP, with doubled DRAM
+//! bandwidth (the paper's Figure 5 machine).
+//!
+//! Bars are normalized per application to the 1-processor / 50 % MP run
+//! (= 100 %).
+
+use coma_experiments::{fig5_latency, run_grid, ExpCtx, RunSpec};
+use coma_stats::{Bar, BarChart, Table};
+use coma_types::MemoryPressure;
+use coma_workloads::AppId;
+
+fn main() {
+    let ctx = ExpCtx::from_env();
+    let bars = [
+        (1usize, MemoryPressure::MP_50),
+        (1, MemoryPressure::MP_81),
+        (4, MemoryPressure::MP_81),
+    ];
+
+    let specs: Vec<RunSpec> = AppId::ALL
+        .into_iter()
+        .flat_map(|app| {
+            bars.map(|(ppn, mp)| RunSpec::new(app, ppn, mp).with_latency(fig5_latency()))
+        })
+        .collect();
+    let reports = run_grid(&ctx, &specs);
+
+    let mut t = Table::new(vec![
+        "Application",
+        "bar",
+        "busy%",
+        "SLC%",
+        "AM%",
+        "remote%",
+        "total%",
+    ]);
+    let mut clustering_wins = 0;
+    let mut chart = BarChart::new(
+        "Figure 5: execution time (1p@50% = 100%), doubled DRAM bandwidth",
+        vec!["busy".into(), "SLC".into(), "AM".into(), "remote".into()],
+        "% of 1p@50% execution time",
+    );
+    for (i, app) in AppId::ALL.into_iter().enumerate() {
+        let base = reports[3 * i].exec_time_ns.max(1) as f64;
+        let g = chart.group(app.name());
+        for (k, (ppn, mp)) in bars.iter().enumerate() {
+            let r = &reports[3 * i + k];
+            let b = r.avg_breakdown();
+            let (busy, slc, am, rem) = b.figure5_segments();
+            let scale = |x: u64| x as f64 / base * 100.0 * 16.0 / 16.0;
+            // Normalize segment sums to the bar's execution time so the
+            // stacked bar height equals exec-time relative to the baseline.
+            let total = b.total_ns().max(1) as f64;
+            let height = r.exec_time_ns as f64 / base * 100.0;
+            let seg = |x: u64| x as f64 / total * height;
+            g.bars.push(Bar {
+                label: format!("{}p@{}", ppn, mp),
+                segments: vec![seg(busy), seg(slc), seg(am), seg(rem)],
+            });
+            t.row(vec![
+                app.name().to_string(),
+                format!("{}p @ {}", ppn, mp),
+                format!("{:.1}", seg(busy)),
+                format!("{:.1}", seg(slc)),
+                format!("{:.1}", seg(am)),
+                format!("{:.1}", seg(rem)),
+                format!("{:.1}", height),
+            ]);
+            let _ = scale;
+        }
+        let t81 = reports[3 * i + 1].exec_time_ns;
+        let c81 = reports[3 * i + 2].exec_time_ns;
+        if c81 < t81 {
+            clustering_wins += 1;
+        }
+    }
+    println!("Figure 5: execution time for 1-way clustering at 50 and 81.25% MP and");
+    println!("for 4-way clustering at 81.25% MP (doubled DRAM bandwidth; 1p@50% = 100%)\n");
+    println!("{}", t.render());
+    println!(
+        "4-way clustering beats 1-way at 81.25% MP for {}/{} applications (paper: 13/14)",
+        clustering_wins,
+        AppId::ALL.len()
+    );
+    ctx.write_csv("fig5", &t);
+    ctx.write_svg("fig5", &chart);
+}

@@ -1,0 +1,57 @@
+//! §4.2 inclusion-breaking — the paper's own suggested remedy for the
+//! very-high-pressure conflict misses: "A way to overcome this limitation
+//! is to break the inclusion in the cache hierarchy as studied in [9, 2]."
+//!
+//! With a non-inclusive hierarchy, clean SLC replicas survive
+//! attraction-memory replacements, so the private caches act as extra
+//! replication capacity exactly where the 4-way AM runs out of it.
+//! This experiment measures traffic and execution time for the six
+//! Figure-4 applications at 87.5 % MP, inclusive vs non-inclusive, for
+//! both clustering degrees.
+
+use coma_experiments::{fig5_latency, ExpCtx};
+use coma_sim::{run_simulation, SimParams};
+use coma_stats::Table;
+use coma_types::MemoryPressure;
+use coma_workloads::AppId;
+
+fn run(ctx: &ExpCtx, app: AppId, ppn: usize, inclusive: bool) -> (u64, u64) {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = ppn;
+    params.machine.memory_pressure = MemoryPressure::MP_87;
+    params.machine.inclusive_hierarchy = inclusive;
+    params.latency = fig5_latency();
+    let wl = app.build(16, ctx.seed, ctx.scale);
+    let r = run_simulation(wl, &params);
+    (r.traffic.total_bytes(), r.exec_time_ns)
+}
+
+fn main() {
+    let ctx = ExpCtx::from_env();
+    let mut t = Table::new(vec![
+        "Application",
+        "ppn",
+        "traffic incl (KB)",
+        "traffic non-incl (KB)",
+        "traffic delta",
+        "exec delta",
+    ]);
+    for app in AppId::FIG4_GROUP {
+        for ppn in [1usize, 4] {
+            let (b_incl, t_incl) = run(&ctx, app, ppn, true);
+            let (b_non, t_non) = run(&ctx, app, ppn, false);
+            t.row(vec![
+                app.name().to_string(),
+                ppn.to_string(),
+                (b_incl / 1024).to_string(),
+                (b_non / 1024).to_string(),
+                format!("{:+.1}%", (b_non as f64 / b_incl.max(1) as f64 - 1.0) * 100.0),
+                format!("{:+.1}%", (t_non as f64 / t_incl.max(1) as f64 - 1.0) * 100.0),
+            ]);
+        }
+    }
+    println!("Breaking SLC/AM inclusion at 87.5% MP (the paper's §4.2 remedy);");
+    println!("negative deltas = the non-inclusive hierarchy helps\n");
+    println!("{}", t.render());
+    ctx.write_csv("inclusion", &t);
+}

@@ -1,0 +1,29 @@
+//! Table 1 — applications and working sets.
+//!
+//! Prints the application catalog exactly as the paper tabulates it,
+//! plus the scaled working set actually used by the simulations.
+
+use coma_experiments::ExpCtx;
+use coma_stats::Table;
+use coma_workloads::{catalog::WS_SCALE_DIV, AppId};
+
+fn main() {
+    let ctx = ExpCtx::from_env();
+    let mut t = Table::new(vec![
+        "Application",
+        "Description",
+        "Working set (MB)",
+        "Scaled (KB)",
+    ]);
+    for app in AppId::ALL {
+        t.row(vec![
+            app.name().to_string(),
+            app.description().to_string(),
+            format!("{:.1}", app.paper_ws_mb()),
+            format!("{:.0}", app.ws_bytes() as f64 / 1024.0),
+        ]);
+    }
+    println!("Table 1: Applications and working sets (scale 1/{WS_SCALE_DIV})\n");
+    println!("{}", t.render());
+    ctx.write_csv("table1", &t);
+}

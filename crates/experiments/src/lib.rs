@@ -1,0 +1,265 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Every binary reproduces one table or figure of the paper. Common knobs
+//! come from the environment so `cargo run --release -p coma-experiments
+//! --bin fig3` just works:
+//!
+//! * `COMA_SCALE` — `paper` (default), `bench`, or `smoke`: trace length.
+//! * `COMA_SEED` — experiment seed (default 42).
+//! * `COMA_OUT` — directory for CSV output (default `results/`).
+//! * `COMA_THREADS` — worker threads (default: available parallelism).
+
+use coma_sim::{run_simulation, SimParams};
+use coma_stats::{BarChart, SimReport, Table};
+use coma_types::{LatencyConfig, MemoryPressure};
+use coma_workloads::{AppId, Scale};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Experiment context (scale, seed, output directory).
+#[derive(Clone, Debug)]
+pub struct ExpCtx {
+    pub scale: Scale,
+    pub seed: u64,
+    pub out_dir: PathBuf,
+    pub threads: usize,
+}
+
+impl ExpCtx {
+    /// Build from the environment (see module docs for the variables).
+    pub fn from_env() -> Self {
+        let scale = match std::env::var("COMA_SCALE").as_deref() {
+            Ok("bench") => Scale::BENCH,
+            Ok("smoke") => Scale::SMOKE,
+            Ok(other) if !other.is_empty() && other != "paper" => {
+                other.parse::<f64>().map(Scale).unwrap_or(Scale::PAPER)
+            }
+            _ => Scale::PAPER,
+        };
+        let seed = std::env::var("COMA_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        let out_dir = std::env::var("COMA_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        let threads = std::env::var("COMA_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ExpCtx {
+            scale,
+            seed,
+            out_dir,
+            threads,
+        }
+    }
+
+    /// Persist a chart as SVG under the output directory.
+    pub fn write_svg(&self, name: &str, chart: &BarChart) {
+        std::fs::create_dir_all(&self.out_dir).expect("create output directory");
+        let path = self.out_dir.join(format!("{name}.svg"));
+        std::fs::write(&path, chart.to_svg()).expect("write SVG");
+        println!("[svg] {}", path.display());
+    }
+
+    /// Persist a table as CSV under the output directory.
+    pub fn write_csv(&self, name: &str, table: &Table) {
+        std::fs::create_dir_all(&self.out_dir).expect("create output directory");
+        let path = self.out_dir.join(format!("{name}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("write CSV");
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// One simulation point in an experiment grid.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    pub app: AppId,
+    pub procs_per_node: usize,
+    pub memory_pressure: MemoryPressure,
+    pub am_assoc: usize,
+    pub latency: LatencyConfig,
+}
+
+impl RunSpec {
+    pub fn new(app: AppId, ppn: usize, mp: MemoryPressure) -> Self {
+        RunSpec {
+            app,
+            procs_per_node: ppn,
+            memory_pressure: mp,
+            am_assoc: 4,
+            latency: LatencyConfig::paper_default(),
+        }
+    }
+
+    pub fn with_assoc(mut self, assoc: usize) -> Self {
+        self.am_assoc = assoc;
+        self
+    }
+
+    pub fn with_latency(mut self, lat: LatencyConfig) -> Self {
+        self.latency = lat;
+        self
+    }
+
+    /// Execute this point.
+    pub fn run(&self, ctx: &ExpCtx) -> SimReport {
+        let mut params = SimParams::default();
+        params.machine.procs_per_node = self.procs_per_node;
+        params.machine.memory_pressure = self.memory_pressure;
+        params.machine.am_assoc = self.am_assoc;
+        params.latency = self.latency.clone();
+        let wl = self.app.build(params.machine.n_procs, ctx.seed, ctx.scale);
+        run_simulation(wl, &params)
+    }
+}
+
+/// Run every spec, using up to `ctx.threads` workers, preserving order.
+pub fn run_grid(ctx: &ExpCtx, specs: &[RunSpec]) -> Vec<SimReport> {
+    let n = specs.len();
+    if ctx.threads <= 1 || n <= 1 {
+        return specs.iter().map(|s| s.run(ctx)).collect();
+    }
+    let results: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..ctx.threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let report = specs[i].run(ctx);
+                *results[i].lock().unwrap() = Some(report);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed"))
+        .collect()
+}
+
+/// The Figure 5 / §4.3 execution-time latency configuration.
+pub fn fig5_latency() -> LatencyConfig {
+    LatencyConfig::paper_double_dram()
+}
+
+/// Mean / standard deviation of a metric across workload seeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeedStats {
+    pub mean: f64,
+    pub stddev: f64,
+    pub n: usize,
+}
+
+impl SeedStats {
+    /// Relative spread (coefficient of variation).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Run `spec` under `n_seeds` different workload seeds (ctx.seed,
+/// ctx.seed+1, …) and summarize `metric` across them. Reviewers of
+/// simulation studies rightly ask for this; a small CV means a single
+/// seed's figures are representative.
+pub fn across_seeds(
+    ctx: &ExpCtx,
+    spec: &RunSpec,
+    n_seeds: usize,
+    metric: impl Fn(&SimReport) -> f64 + Sync,
+) -> SeedStats {
+    assert!(n_seeds >= 1);
+    let values: Vec<f64> = (0..n_seeds)
+        .map(|k| {
+            let mut c = ctx.clone();
+            c.seed = ctx.seed + k as u64;
+            metric(&spec.run(&c))
+        })
+        .collect();
+    let mean = values.iter().sum::<f64>() / n_seeds as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / n_seeds.max(2).saturating_sub(1) as f64;
+    SeedStats {
+        mean,
+        stddev: var.sqrt(),
+        n: n_seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_ctx() -> ExpCtx {
+        ExpCtx {
+            scale: Scale::SMOKE,
+            seed: 1,
+            out_dir: std::env::temp_dir().join("coma-exp-test"),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn run_grid_preserves_order_and_determinism() {
+        let ctx = smoke_ctx();
+        let specs = vec![
+            RunSpec::new(AppId::WaterN2, 1, MemoryPressure::MP_50),
+            RunSpec::new(AppId::WaterN2, 4, MemoryPressure::MP_50),
+        ];
+        let a = run_grid(&ctx, &specs);
+        let b = run_grid(&ctx, &specs);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].exec_time_ns, b[0].exec_time_ns);
+        assert_eq!(a[1].exec_time_ns, b[1].exec_time_ns);
+        assert_ne!(a[0].exec_time_ns, a[1].exec_time_ns);
+    }
+
+    #[test]
+    fn csv_written() {
+        let ctx = smoke_ctx();
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1"]);
+        ctx.write_csv("unit-test", &t);
+        let content =
+            std::fs::read_to_string(ctx.out_dir.join("unit-test.csv")).unwrap();
+        assert_eq!(content, "a\n1\n");
+    }
+
+    #[test]
+    fn seed_stats_are_sane() {
+        let ctx = smoke_ctx();
+        let spec = RunSpec::new(AppId::WaterN2, 2, MemoryPressure::MP_50);
+        let s = across_seeds(&ctx, &spec, 3, |r| r.rnm_rate());
+        assert_eq!(s.n, 3);
+        assert!(s.mean > 0.0 && s.mean < 1.0);
+        assert!(s.stddev >= 0.0);
+        // Across-seed noise on the RNMr should be small.
+        assert!(s.cv() < 0.5, "cv = {}", s.cv());
+    }
+
+    #[test]
+    fn single_seed_stats_degenerate_cleanly() {
+        let ctx = smoke_ctx();
+        let spec = RunSpec::new(AppId::WaterN2, 1, MemoryPressure::MP_50);
+        let s = across_seeds(&ctx, &spec, 1, |r| r.exec_time_ns as f64);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn env_defaults() {
+        let ctx = ExpCtx::from_env();
+        assert!(ctx.threads >= 1);
+        assert_eq!(ctx.seed, 42);
+    }
+}

@@ -1,0 +1,221 @@
+//! Global line directory.
+//!
+//! The modeled hardware locates lines by snooping; the simulator shortcuts
+//! the search with a directory mapping each live line to its responsible
+//! (Owner/Exclusive) node and the set of Shared replica holders. The
+//! directory is *simulation state*, not modeled hardware — it must stay
+//! consistent with the per-node attraction memories, which the engine's
+//! invariant checker verifies.
+//!
+//! Keys are line numbers; a Fibonacci-multiply hasher replaces SipHash
+//! because this map sits on the hot path of every simulated miss.
+
+use coma_types::{LineNum, NodeId};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-shift hasher for line numbers (already well-distributed keys).
+#[derive(Default)]
+pub struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys; not used on the hot path.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+        self.0 = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type LineMap<V> = HashMap<LineNum, V, BuildHasherDefault<LineHasher>>;
+
+/// Where a live line's copies are.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineInfo {
+    /// Node holding the responsible (Owner or Exclusive) copy.
+    pub owner: NodeId,
+    /// Bitmask of nodes holding Shared replicas (owner bit never set).
+    pub sharers: u16,
+}
+
+impl LineInfo {
+    /// Number of Shared replicas.
+    pub fn n_sharers(self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// Nodes in the sharer set, ascending.
+    pub fn sharer_nodes(self) -> impl Iterator<Item = NodeId> {
+        let mask = self.sharers;
+        (0..16u16).filter(move |i| mask & (1 << i) != 0).map(NodeId)
+    }
+}
+
+/// The machine-wide line directory.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    map: LineMap<LineInfo>,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Look up a live line.
+    #[inline]
+    pub fn get(&self, line: LineNum) -> Option<LineInfo> {
+        self.map.get(&line).copied()
+    }
+
+    /// Is the line live anywhere in the machine?
+    #[inline]
+    pub fn contains(&self, line: LineNum) -> bool {
+        self.map.contains_key(&line)
+    }
+
+    /// Register a brand-new line with a sole (Exclusive) copy.
+    pub fn insert_sole(&mut self, line: LineNum, owner: NodeId) {
+        let prev = self.map.insert(line, LineInfo { owner, sharers: 0 });
+        debug_assert!(prev.is_none(), "line {line:?} already live");
+    }
+
+    /// Add a Shared replica holder.
+    pub fn add_sharer(&mut self, line: LineNum, node: NodeId) {
+        let info = self.map.get_mut(&line).expect("sharer of dead line");
+        debug_assert_ne!(info.owner, node, "owner cannot also be a sharer");
+        info.sharers |= 1 << node.0;
+    }
+
+    /// Drop a Shared replica holder.
+    pub fn remove_sharer(&mut self, line: LineNum, node: NodeId) {
+        if let Some(info) = self.map.get_mut(&line) {
+            info.sharers &= !(1 << node.0);
+        }
+    }
+
+    /// Is `node` a registered sharer?
+    pub fn is_sharer(&self, line: LineNum, node: NodeId) -> bool {
+        self.get(line)
+            .map(|i| i.sharers & (1 << node.0) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Move the responsible copy to `node` (which must not be a sharer
+    /// afterward). Keeps the remaining sharer set unless cleared by the
+    /// caller.
+    pub fn set_owner(&mut self, line: LineNum, node: NodeId) {
+        let info = self.map.get_mut(&line).expect("owner of dead line");
+        info.owner = node;
+        info.sharers &= !(1 << node.0);
+    }
+
+    /// Replace the sharer set wholesale (used by write invalidations).
+    pub fn clear_sharers(&mut self, line: LineNum) {
+        if let Some(info) = self.map.get_mut(&line) {
+            info.sharers = 0;
+        }
+    }
+
+    /// Remove a line entirely (page-out).
+    pub fn remove(&mut self, line: LineNum) -> Option<LineInfo> {
+        self.map.remove(&line)
+    }
+
+    /// Number of live lines.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate all live lines (invariant checking).
+    pub fn iter(&self) -> impl Iterator<Item = (LineNum, LineInfo)> + '_ {
+        self.map.iter().map(|(l, i)| (*l, *i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sole_insert_then_sharers() {
+        let mut d = Directory::new();
+        d.insert_sole(LineNum(7), NodeId(2));
+        d.add_sharer(LineNum(7), NodeId(5));
+        d.add_sharer(LineNum(7), NodeId(0));
+        let info = d.get(LineNum(7)).unwrap();
+        assert_eq!(info.owner, NodeId(2));
+        assert_eq!(info.n_sharers(), 2);
+        let sharers: Vec<NodeId> = info.sharer_nodes().collect();
+        assert_eq!(sharers, vec![NodeId(0), NodeId(5)]);
+    }
+
+    #[test]
+    fn remove_sharer_idempotent() {
+        let mut d = Directory::new();
+        d.insert_sole(LineNum(1), NodeId(0));
+        d.add_sharer(LineNum(1), NodeId(3));
+        d.remove_sharer(LineNum(1), NodeId(3));
+        d.remove_sharer(LineNum(1), NodeId(3));
+        assert_eq!(d.get(LineNum(1)).unwrap().n_sharers(), 0);
+    }
+
+    #[test]
+    fn owner_migration_clears_new_owner_from_sharers() {
+        let mut d = Directory::new();
+        d.insert_sole(LineNum(1), NodeId(0));
+        d.add_sharer(LineNum(1), NodeId(3));
+        d.set_owner(LineNum(1), NodeId(3));
+        let info = d.get(LineNum(1)).unwrap();
+        assert_eq!(info.owner, NodeId(3));
+        assert_eq!(info.n_sharers(), 0);
+    }
+
+    #[test]
+    fn remove_kills_line() {
+        let mut d = Directory::new();
+        d.insert_sole(LineNum(9), NodeId(1));
+        assert!(d.remove(LineNum(9)).is_some());
+        assert!(!d.contains(LineNum(9)));
+        assert!(d.remove(LineNum(9)).is_none());
+    }
+
+    #[test]
+    fn is_sharer_checks_bitmask() {
+        let mut d = Directory::new();
+        d.insert_sole(LineNum(2), NodeId(0));
+        d.add_sharer(LineNum(2), NodeId(15));
+        assert!(d.is_sharer(LineNum(2), NodeId(15)));
+        assert!(!d.is_sharer(LineNum(2), NodeId(14)));
+        assert!(!d.is_sharer(LineNum(3), NodeId(15)));
+    }
+
+    #[test]
+    fn hasher_distributes_sequential_keys() {
+        // Sequential line numbers must not collide into one bucket chain:
+        // just verify inserts/lookups work at scale.
+        let mut d = Directory::new();
+        for i in 0..10_000u64 {
+            d.insert_sole(LineNum(i), NodeId((i % 16) as u16));
+        }
+        assert_eq!(d.len(), 10_000);
+        for i in (0..10_000u64).step_by(997) {
+            assert_eq!(d.get(LineNum(i)).unwrap().owner, NodeId((i % 16) as u16));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-node state: the attraction memory plus the private cache
+//! hierarchies of the node's processors.
+
+use coma_cache::{AttractionMemory, Flc, Slc, SlcState, VictimPolicy};
+use coma_types::{LineNum, MachineGeometry};
+
+/// One cluster node (Figure 1 of the paper): `procs_per_node` processors,
+/// each with a private FLC and SLC, sharing one attraction memory.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    pub am: AttractionMemory,
+    /// Private SLCs, indexed by the processor's index *within the node*.
+    pub slcs: Vec<Slc>,
+    /// Private FLCs, same indexing.
+    pub flcs: Vec<Flc>,
+}
+
+impl NodeState {
+    pub fn new(geom: &MachineGeometry, victim_policy: VictimPolicy) -> Self {
+        NodeState {
+            am: AttractionMemory::new(geom.am_sets, geom.am_assoc, victim_policy),
+            slcs: (0..geom.procs_per_node)
+                .map(|_| Slc::new(geom.slc_sets, geom.slc_assoc))
+                .collect(),
+            flcs: (0..geom.procs_per_node)
+                .map(|_| Flc::new(geom.flc_sets))
+                .collect(),
+        }
+    }
+
+    /// Enforce inclusion: the AM lost `line`, so every private cache in
+    /// the node must drop it too.
+    pub fn invalidate_private(&mut self, line: LineNum) {
+        for slc in &mut self.slcs {
+            slc.invalidate(line);
+        }
+        for flc in &mut self.flcs {
+            flc.invalidate(line);
+        }
+    }
+
+    /// Downgrade every private copy to read-only (a reader appeared
+    /// elsewhere). Returns true if some SLC held the line Modified.
+    pub fn downgrade_private(&mut self, line: LineNum) -> bool {
+        let mut had_dirty = false;
+        for slc in &mut self.slcs {
+            had_dirty |= slc.downgrade(line);
+        }
+        for flc in &mut self.flcs {
+            flc.downgrade(line);
+        }
+        had_dirty
+    }
+
+    /// Index of a peer SLC (≠ `except`) holding `line` Modified, if any.
+    pub fn dirty_peer(&self, line: LineNum, except: usize) -> Option<usize> {
+        self.slcs
+            .iter()
+            .enumerate()
+            .find(|(i, s)| *i != except && s.peek(line) == SlcState::Modified)
+            .map(|(i, _)| i)
+    }
+
+    /// Invalidate `line` in every private cache except processor `except`
+    /// (intra-node write invalidation). Returns true if a dirty peer copy
+    /// was destroyed-by-upgrade (its data first merged via the AM).
+    pub fn invalidate_peers(&mut self, line: LineNum, except: usize) -> bool {
+        let mut had_dirty = false;
+        for (i, slc) in self.slcs.iter_mut().enumerate() {
+            if i != except {
+                had_dirty |= slc.invalidate(line) == SlcState::Modified;
+            }
+        }
+        for (i, flc) in self.flcs.iter_mut().enumerate() {
+            if i != except {
+                flc.invalidate(line);
+            }
+        }
+        had_dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coma_types::{MachineConfig, MemoryPressure};
+
+    fn node() -> NodeState {
+        let cfg = MachineConfig::paper(4, MemoryPressure::MP_50);
+        let geom = cfg.geometry(1 << 20).unwrap();
+        NodeState::new(&geom, VictimPolicy::SharedFirst)
+    }
+
+    #[test]
+    fn construction_matches_geometry() {
+        let n = node();
+        assert_eq!(n.slcs.len(), 4);
+        assert_eq!(n.flcs.len(), 4);
+        assert!(n.am.capacity() > 0);
+    }
+
+    #[test]
+    fn invalidate_private_clears_all_levels() {
+        let mut n = node();
+        n.slcs[1].insert(LineNum(5), SlcState::Shared);
+        n.flcs[1].fill(LineNum(5), false);
+        n.invalidate_private(LineNum(5));
+        assert_eq!(n.slcs[1].peek(LineNum(5)), SlcState::Invalid);
+        assert!(!n.flcs[1].read_hit(LineNum(5)));
+    }
+
+    #[test]
+    fn dirty_peer_found_and_excluded() {
+        let mut n = node();
+        n.slcs[2].insert(LineNum(9), SlcState::Modified);
+        assert_eq!(n.dirty_peer(LineNum(9), 0), Some(2));
+        assert_eq!(n.dirty_peer(LineNum(9), 2), None);
+    }
+
+    #[test]
+    fn downgrade_reports_dirty() {
+        let mut n = node();
+        n.slcs[0].insert(LineNum(3), SlcState::Modified);
+        n.slcs[1].insert(LineNum(3), SlcState::Shared);
+        assert!(n.downgrade_private(LineNum(3)));
+        assert_eq!(n.slcs[0].peek(LineNum(3)), SlcState::Shared);
+        assert!(!n.downgrade_private(LineNum(3)));
+    }
+
+    #[test]
+    fn invalidate_peers_spares_writer() {
+        let mut n = node();
+        n.slcs[0].insert(LineNum(4), SlcState::Shared);
+        n.slcs[1].insert(LineNum(4), SlcState::Shared);
+        let dirty = n.invalidate_peers(LineNum(4), 0);
+        assert!(!dirty);
+        assert_eq!(n.slcs[0].peek(LineNum(4)), SlcState::Shared);
+        assert_eq!(n.slcs[1].peek(LineNum(4)), SlcState::Invalid);
+    }
+}

@@ -1,0 +1,455 @@
+//! The simulation driver: event-driven execution of one workload on one
+//! machine configuration, producing a [`SimReport`].
+
+use crate::resources::MachineResources;
+use crate::sync::{BarrierState, LockState};
+use coma_cache::{AcceptPolicy, VictimPolicy};
+use coma_protocol::{BaselineEngine, BaselineKind, CoherenceEngine, Outcome};
+use coma_stats::{AccessCounts, ExecBreakdown, Level, SimReport};
+use coma_timing::{EventQueue, WriteBuffer};
+use coma_types::{
+    time::instr_time, Addr, ConfigError, LatencyConfig, MachineConfig, Nanos, ProcId,
+};
+use coma_workloads::{Op, OpStream, Workload};
+
+/// Which memory architecture the machine implements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MemoryModel {
+    /// The paper's bus-based COMA with attraction memories.
+    #[default]
+    Coma,
+    /// CC-NUMA baseline: fixed first-touch homes, no attraction memory.
+    Numa,
+    /// UMA baseline: dancehall memory, every SLC miss is remote.
+    Uma,
+}
+
+/// Everything that parameterizes one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimParams {
+    pub machine: MachineConfig,
+    pub latency: LatencyConfig,
+    pub victim_policy: VictimPolicy,
+    pub accept_policy: AcceptPolicy,
+    pub memory_model: MemoryModel,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            machine: MachineConfig::default(),
+            latency: LatencyConfig::paper_default(),
+            victim_policy: VictimPolicy::SharedFirst,
+            accept_policy: AcceptPolicy::InvalidThenShared,
+            memory_model: MemoryModel::Coma,
+        }
+    }
+}
+
+/// The machine's memory system: COMA or one of the baselines.
+enum Memory {
+    Coma(CoherenceEngine),
+    Baseline(BaselineEngine),
+}
+
+impl Memory {
+    fn read(&mut self, p: ProcId, line: coma_types::LineNum) -> Outcome {
+        match self {
+            Memory::Coma(e) => e.read(p, line),
+            Memory::Baseline(e) => e.read(p, line),
+        }
+    }
+
+    fn write(&mut self, p: ProcId, line: coma_types::LineNum) -> Outcome {
+        match self {
+            Memory::Coma(e) => e.write(p, line),
+            Memory::Baseline(e) => e.write(p, line),
+        }
+    }
+}
+
+/// A fully assembled machine + workload, ready to run.
+pub struct Simulation {
+    engine: Memory,
+    res: MachineResources,
+    lat: LatencyConfig,
+    streams: Vec<Box<dyn OpStream>>,
+    wbs: Vec<WriteBuffer>,
+    breakdown: Vec<ExecBreakdown>,
+    counts: AccessCounts,
+    read_latency: coma_stats::LatencyHisto,
+    queue: EventQueue,
+    locks: Vec<LockState>,
+    barrier: BarrierState,
+    lock_addrs: Vec<Addr>,
+    barrier_counter: Addr,
+    barrier_flag: Addr,
+    finish: Vec<Option<Nanos>>,
+    n_done: usize,
+    n_procs: usize,
+}
+
+impl Simulation {
+    /// Assemble a machine for `workload` under `params`.
+    pub fn new(workload: Workload, params: &SimParams) -> Result<Self, ConfigError> {
+        let geom = params.machine.geometry(workload.ws_bytes)?;
+        assert_eq!(
+            workload.streams.len(),
+            geom.n_procs,
+            "workload has {} streams for {} processors",
+            workload.streams.len(),
+            geom.n_procs
+        );
+        let n_procs = geom.n_procs;
+        let engine = match params.memory_model {
+            MemoryModel::Coma => Memory::Coma(CoherenceEngine::with_inclusion(
+                geom,
+                params.victim_policy,
+                params.accept_policy,
+                params.machine.intra_node_transfers,
+                params.machine.inclusive_hierarchy,
+            )),
+            MemoryModel::Numa => {
+                Memory::Baseline(BaselineEngine::new(geom, BaselineKind::Numa))
+            }
+            MemoryModel::Uma => {
+                Memory::Baseline(BaselineEngine::new(geom, BaselineKind::Uma))
+            }
+        };
+        let res = MachineResources::new(&geom);
+        let mut queue = EventQueue::new();
+        for p in 0..n_procs {
+            queue.push(0, ProcId(p as u16));
+        }
+        let lock_addrs = (0..workload.n_locks).map(|i| workload.lock_addr(i)).collect();
+        Ok(Simulation {
+            engine,
+            res,
+            lat: params.latency.clone(),
+            wbs: (0..n_procs)
+                .map(|_| WriteBuffer::new(params.machine.write_buffer_entries))
+                .collect(),
+            breakdown: vec![ExecBreakdown::default(); n_procs],
+            counts: AccessCounts::default(),
+            read_latency: coma_stats::LatencyHisto::new(),
+            queue,
+            locks: vec![LockState::default(); workload.n_locks as usize],
+            barrier: BarrierState::new(n_procs),
+            lock_addrs,
+            barrier_counter: workload.barrier_counter_addr(),
+            barrier_flag: workload.barrier_flag_addr(),
+            streams: workload.streams,
+            finish: vec![None; n_procs],
+            n_done: 0,
+            n_procs,
+        })
+    }
+
+    fn bucket(&mut self, p: usize, level: Level, ns: Nanos) {
+        let b = &mut self.breakdown[p];
+        match level {
+            Level::Flc => b.busy_ns += ns,
+            Level::Slc => b.slc_ns += ns,
+            Level::PeerSlc | Level::Am => b.am_ns += ns,
+            Level::Remote => b.remote_ns += ns,
+        }
+    }
+
+    /// Timed protocol read with stall accounting.
+    fn do_read(&mut self, p: ProcId, addr: Addr, t: Nanos) -> Nanos {
+        let out = self.engine.read(p, addr.line());
+        let done = self.res.time_access(t, p, &out, &self.lat);
+        self.counts.record_read(out.level);
+        self.read_latency.record(done - t);
+        self.bucket(p.as_usize(), out.level, done - t);
+        done
+    }
+
+    /// Timed protocol write (blocking — used for sync lines).
+    fn do_write(&mut self, p: ProcId, addr: Addr, t: Nanos) -> Nanos {
+        let out = self.engine.write(p, addr.line());
+        let done = self.res.time_access(t, p, &out, &self.lat);
+        self.counts.record_write(out.level);
+        self.bucket(p.as_usize(), out.level, done - t);
+        done
+    }
+
+    /// Atomic read-modify-write (lock acquisition, barrier counter).
+    fn rmw(&mut self, p: ProcId, addr: Addr, t: Nanos) -> Nanos {
+        let t1 = self.do_read(p, addr, t);
+        self.do_write(p, addr, t1)
+    }
+
+    /// Release the gathered barrier at `now`: every parked processor
+    /// re-fetches the (just invalidated) flag line and resumes.
+    fn release_barrier(&mut self, now: Nanos) {
+        let released = self.barrier.release();
+        for (q, parked) in released {
+            let start = now.max(parked);
+            self.breakdown[q.as_usize()].sync_ns += start - parked;
+            let done = self.do_read(q, self.barrier_flag, start);
+            self.queue.push(done, q);
+        }
+    }
+
+    /// A processor's stream ended at time `t`.
+    fn finish_proc(&mut self, p: ProcId, t: Nanos) {
+        let drained = self.wbs[p.as_usize()].drain(t);
+        self.breakdown[p.as_usize()].sync_ns += drained - t;
+        self.finish[p.as_usize()] = Some(drained);
+        self.n_done += 1;
+        // If the remaining processors are all waiting at a barrier this
+        // processor will never reach, complete it for them.
+        if self.barrier.retire_participant() {
+            self.release_barrier(drained);
+        }
+    }
+
+    /// Execute one operation of processor `p` popped at time `t`.
+    fn step(&mut self, p: ProcId, t: Nanos) {
+        let pi = p.as_usize();
+        let op = match self.streams[pi].next_op() {
+            Some(op) => op,
+            None => {
+                self.finish_proc(p, t);
+                return;
+            }
+        };
+        match op {
+            Op::Compute(n) => {
+                let dt = instr_time(n as u64);
+                self.breakdown[pi].busy_ns += dt;
+                self.queue.push(t + dt, p);
+            }
+            Op::Read(a) => {
+                // One issue slot for the load instruction itself.
+                self.breakdown[pi].busy_ns += 1;
+                let done = self.do_read(p, a, t + 1);
+                self.queue.push(done, p);
+            }
+            Op::Write(a) => {
+                self.breakdown[pi].busy_ns += 1;
+                let issue = t + 1;
+                let out = self.engine.write(p, a.line());
+                let completes = self.res.time_access(issue, p, &out, &self.lat);
+                self.counts.record_write(out.level);
+                // Release consistency: the processor stalls only if the
+                // write buffer is full.
+                let resume = self.wbs[pi].push(issue, completes);
+                self.bucket(pi, out.level, resume - issue);
+                self.queue.push(resume, p);
+            }
+            Op::Lock(id) => {
+                if self.locks[id as usize].try_acquire(p) {
+                    let done = self.rmw(p, self.lock_addrs[id as usize], t);
+                    self.queue.push(done, p);
+                } else {
+                    self.locks[id as usize].park(p, t);
+                }
+            }
+            Op::Unlock(id) => {
+                // Release consistency: drain the write buffer first.
+                let drained = self.wbs[pi].drain(t);
+                self.breakdown[pi].sync_ns += drained - t;
+                let done = self.do_write(p, self.lock_addrs[id as usize], drained);
+                if let Some((next, parked)) = self.locks[id as usize].release(p) {
+                    let start = done.max(parked);
+                    self.breakdown[next.as_usize()].sync_ns += start - parked;
+                    // The new holder re-acquires the (invalidated) lock line.
+                    let acquired = self.rmw(next, self.lock_addrs[id as usize], start);
+                    self.queue.push(acquired, next);
+                }
+                self.queue.push(done, p);
+            }
+            Op::Barrier(id) => {
+                let drained = self.wbs[pi].drain(t);
+                self.breakdown[pi].sync_ns += drained - t;
+                let counted = self.rmw(p, self.barrier_counter, drained);
+                if self.barrier.arrive(id) {
+                    // Last arrival: write the release flag (invalidating
+                    // every waiter's copy) and wake everyone.
+                    let released = self.do_write(p, self.barrier_flag, counted);
+                    self.release_barrier(released);
+                    self.queue.push(released, p);
+                } else {
+                    self.barrier.park(p, counted);
+                }
+            }
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> SimReport {
+        self.run_loop();
+        self.into_report()
+    }
+
+    /// Run to completion, verify every protocol invariant over the final
+    /// machine state, and produce the report.
+    pub fn run_checked(mut self) -> Result<SimReport, String> {
+        self.run_loop();
+        match &self.engine {
+            Memory::Coma(e) => e.check_invariants()?,
+            Memory::Baseline(e) => e.check_invariants()?,
+        }
+        Ok(self.into_report())
+    }
+
+    fn run_loop(&mut self) {
+        while let Some((t, p)) = self.queue.pop() {
+            self.step(p, t);
+        }
+    }
+
+    fn into_report(self) -> SimReport {
+        assert_eq!(
+            self.n_done, self.n_procs,
+            "deadlock: {} of {} processors finished (parked at locks/barrier)",
+            self.n_done, self.n_procs
+        );
+        let exec_time_ns = self.finish.iter().map(|f| f.unwrap()).max().unwrap_or(0);
+        let (traffic, stats) = match &self.engine {
+            Memory::Coma(e) => (e.traffic, e.stats),
+            Memory::Baseline(e) => (e.traffic, Default::default()),
+        };
+        SimReport {
+            exec_time_ns,
+            counts: self.counts,
+            traffic,
+            per_proc: self.breakdown,
+            injections: stats.injections,
+            ownership_migrations: stats.ownership_migrations,
+            shared_drops: stats.shared_drops,
+            cold_allocs: stats.cold_allocs,
+            bus_busy_ns: self.res.bus.busy_ns(),
+            dram_busy_ns: self.res.dram_busy_ns(),
+            read_latency: self.read_latency,
+        }
+    }
+
+    /// The COMA engine, for post-run inspection in tests (None when a
+    /// baseline memory model is configured).
+    pub fn engine(&self) -> Option<&CoherenceEngine> {
+        match &self.engine {
+            Memory::Coma(e) => Some(e),
+            Memory::Baseline(_) => None,
+        }
+    }
+}
+
+/// Build and run in one call (panics on an invalid configuration; use
+/// [`Simulation::new`] to handle configuration errors explicitly).
+pub fn run_simulation(workload: Workload, params: &SimParams) -> SimReport {
+    Simulation::new(workload, params)
+        .unwrap_or_else(|e| panic!("invalid simulation configuration: {e}"))
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coma_types::MemoryPressure;
+    use coma_workloads::{AppId, Scale};
+
+    fn params(ppn: usize, mp: MemoryPressure) -> SimParams {
+        let mut p = SimParams::default();
+        p.machine.procs_per_node = ppn;
+        p.machine.memory_pressure = mp;
+        p
+    }
+
+    #[test]
+    fn water_runs_to_completion() {
+        let wl = AppId::WaterN2.build(16, 1, Scale::SMOKE);
+        let r = run_simulation(wl, &params(1, MemoryPressure::MP_50));
+        assert!(r.exec_time_ns > 0);
+        assert!(r.counts.total_reads() > 1000);
+        assert!(r.counts.total_writes() > 100);
+        // Time must be fully accounted per processor (within the final
+        // event-alignment slack).
+        for b in &r.per_proc {
+            assert!(b.total_ns() > 0);
+            assert!(b.total_ns() <= r.exec_time_ns);
+        }
+    }
+
+    #[test]
+    fn deterministic_report() {
+        let run = || {
+            let wl = AppId::Fft.build(16, 7, Scale::SMOKE);
+            let r = run_simulation(wl, &params(2, MemoryPressure::MP_75));
+            (r.exec_time_ns, r.counts, r.traffic)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clustering_reduces_rnm_at_low_pressure() {
+        // The paper's core Figure 2 effect, on one communication-heavy app.
+        let rnm = |ppn| {
+            let wl = AppId::OceanNon.build(16, 3, Scale::SMOKE);
+            run_simulation(wl, &params(ppn, MemoryPressure::MP_6)).rnm_rate()
+        };
+        let r1 = rnm(1);
+        let r4 = rnm(4);
+        assert!(r4 < r1, "4-way clustering RNMr {r4} !< 1-way {r1}");
+    }
+
+    #[test]
+    fn higher_pressure_means_more_traffic() {
+        let traffic = |mp| {
+            let wl = AppId::Fft.build(16, 3, Scale::SMOKE);
+            run_simulation(wl, &params(1, mp)).traffic.total_bytes()
+        };
+        let low = traffic(MemoryPressure::MP_6);
+        let high = traffic(MemoryPressure::MP_87);
+        assert!(high > low, "high-MP traffic {high} !> low-MP {low}");
+    }
+
+    #[test]
+    fn no_replacements_at_infinite_caches() {
+        // At 6.25% MP every AM holds the whole working set: replacement
+        // traffic must be zero (paper §4.2: "no replacements are made at
+        // 6% MP").
+        let wl = AppId::WaterSp.build(16, 5, Scale::SMOKE);
+        let r = run_simulation(wl, &params(1, MemoryPressure::MP_6));
+        assert_eq!(r.traffic.replace_txns, 0);
+        assert_eq!(r.injections, 0);
+    }
+
+    #[test]
+    fn locks_serialize_and_complete() {
+        let wl = AppId::Radiosity.build(16, 9, Scale::SMOKE);
+        let r = run_simulation(wl, &params(4, MemoryPressure::MP_50));
+        assert!(r.exec_time_ns > 0);
+        // Some sync waiting must have occurred under 16-way lock traffic.
+        let sync: u64 = r.per_proc.iter().map(|b| b.sync_ns).sum();
+        assert!(sync > 0);
+    }
+
+    #[test]
+    fn invariants_hold_after_full_run() {
+        let wl = AppId::LuNon.build(16, 11, Scale::SMOKE);
+        let sim = Simulation::new(wl, &params(4, MemoryPressure::MP_87)).unwrap();
+        sim.run_checked().expect("protocol invariants hold");
+    }
+
+    #[test]
+    fn barrier_waiters_resume_after_release() {
+        let wl = AppId::Fft.build(16, 13, Scale::SMOKE);
+        let r = run_simulation(wl, &params(1, MemoryPressure::MP_50));
+        // All processors finished (no deadlock) and every one of them
+        // accumulated some barrier wait.
+        assert!(r.per_proc.iter().filter(|b| b.sync_ns > 0).count() >= 8);
+    }
+
+    #[test]
+    fn mismatched_stream_count_panics() {
+        let wl = AppId::Fft.build(8, 1, Scale::SMOKE); // 8 streams
+        let p = params(1, MemoryPressure::MP_50); // 16-proc machine
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulation::new(wl, &p).unwrap()
+        }))
+        .is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimal dependency-free SVG charts.
+//!
+//! The experiment binaries regenerate the paper's figures as stacked-bar
+//! SVGs (the same visual form the paper uses): groups of bars per
+//! application, each bar stacked from segments (read/write/replace
+//! traffic, or busy/SLC/AM/remote time).
+
+use std::fmt::Write as _;
+
+/// One stacked bar.
+#[derive(Clone, Debug)]
+pub struct Bar {
+    /// Small label under the bar (e.g. "1p@50%").
+    pub label: String,
+    /// Segment values, bottom-up, in the chart's unit.
+    pub segments: Vec<f64>,
+}
+
+/// A group of bars sharing a heading (e.g. one application).
+#[derive(Clone, Debug)]
+pub struct BarGroup {
+    pub label: String,
+    pub bars: Vec<Bar>,
+}
+
+/// A stacked-bar chart.
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    pub title: String,
+    /// Legend entries, one per segment, bottom-up.
+    pub series: Vec<String>,
+    pub groups: Vec<BarGroup>,
+    /// Y-axis label.
+    pub y_label: String,
+}
+
+/// Brand-neutral categorical palette (≤ 5 segments used here).
+const COLORS: [&str; 5] = ["#4878a8", "#e49444", "#d1605e", "#85b6b2", "#6a9f58"];
+
+const BAR_W: f64 = 16.0;
+const BAR_GAP: f64 = 4.0;
+const GROUP_GAP: f64 = 26.0;
+const PLOT_H: f64 = 260.0;
+const MARGIN_L: f64 = 56.0;
+const MARGIN_T: f64 = 46.0;
+const MARGIN_B: f64 = 64.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+impl BarChart {
+    pub fn new(title: impl Into<String>, series: Vec<String>, y_label: impl Into<String>) -> Self {
+        BarChart {
+            title: title.into(),
+            series,
+            groups: Vec::new(),
+            y_label: y_label.into(),
+        }
+    }
+
+    pub fn group(&mut self, label: impl Into<String>) -> &mut BarGroup {
+        self.groups.push(BarGroup {
+            label: label.into(),
+            bars: Vec::new(),
+        });
+        self.groups.last_mut().expect("just pushed")
+    }
+
+    /// Largest stacked total (for the y scale); at least 1 to stay finite.
+    fn max_total(&self) -> f64 {
+        self.groups
+            .iter()
+            .flat_map(|g| &g.bars)
+            .map(|b| b.segments.iter().sum::<f64>())
+            .fold(1.0_f64, f64::max)
+    }
+
+    /// Render the chart as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let max = self.max_total() * 1.05;
+        let mut x = MARGIN_L + 10.0;
+        // Pre-compute bar x positions.
+        let mut group_spans = Vec::new();
+        for g in &self.groups {
+            let start = x;
+            x += g.bars.len() as f64 * (BAR_W + BAR_GAP) - BAR_GAP;
+            group_spans.push((start, x));
+            x += GROUP_GAP;
+        }
+        let width = (x - GROUP_GAP + 140.0).max(320.0);
+        let height = MARGIN_T + PLOT_H + MARGIN_B;
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="sans-serif">"#
+        );
+        let _ = write!(
+            s,
+            r#"<rect width="100%" height="100%" fill="white"/><text x="{MARGIN_L}" y="24" font-size="15" font-weight="bold">{}</text>"#,
+            esc(&self.title)
+        );
+        // Y axis with gridlines at quarters of the max.
+        for k in 0..=4 {
+            let v = max * k as f64 / 4.0;
+            let y = MARGIN_T + PLOT_H - PLOT_H * k as f64 / 4.0;
+            let _ = write!(
+                s,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{v:.0}</text>"##,
+                width - 120.0,
+                MARGIN_L - 6.0,
+                y + 3.0
+            );
+        }
+        let _ = write!(
+            s,
+            r#"<text x="14" y="{:.1}" font-size="11" transform="rotate(-90 14 {:.1})" text-anchor="middle">{}</text>"#,
+            MARGIN_T + PLOT_H / 2.0,
+            MARGIN_T + PLOT_H / 2.0,
+            esc(&self.y_label)
+        );
+
+        // Bars.
+        for (g, (start, end)) in self.groups.iter().zip(&group_spans) {
+            let mut bx = *start;
+            for bar in &g.bars {
+                let mut y = MARGIN_T + PLOT_H;
+                for (i, &v) in bar.segments.iter().enumerate() {
+                    let h = (v / max) * PLOT_H;
+                    y -= h;
+                    let color = COLORS[i % COLORS.len()];
+                    let _ = write!(
+                        s,
+                        r#"<rect x="{bx:.1}" y="{y:.1}" width="{BAR_W}" height="{h:.2}" fill="{color}"><title>{}: {} = {v:.1}</title></rect>"#,
+                        esc(&bar.label),
+                        esc(self.series.get(i).map(String::as_str).unwrap_or("?")),
+                    );
+                }
+                // Bar sublabel, rotated.
+                let _ = write!(
+                    s,
+                    r#"<text x="{:.1}" y="{:.1}" font-size="8" text-anchor="end" transform="rotate(-55 {:.1} {:.1})">{}</text>"#,
+                    bx + BAR_W / 2.0,
+                    MARGIN_T + PLOT_H + 12.0,
+                    bx + BAR_W / 2.0,
+                    MARGIN_T + PLOT_H + 12.0,
+                    esc(&bar.label)
+                );
+                bx += BAR_W + BAR_GAP;
+            }
+            // Group heading under the bars.
+            let _ = write!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle" font-weight="bold">{}</text>"#,
+                (start + end) / 2.0,
+                MARGIN_T + PLOT_H + MARGIN_B - 10.0,
+                esc(&g.label)
+            );
+        }
+
+        // Legend.
+        let lx = width - 110.0;
+        for (i, name) in self.series.iter().enumerate() {
+            let ly = MARGIN_T + 12.0 + i as f64 * 18.0;
+            let _ = write!(
+                s,
+                r#"<rect x="{lx:.1}" y="{:.1}" width="12" height="12" fill="{}"/><text x="{:.1}" y="{ly:.1}" font-size="11">{}</text>"#,
+                ly - 10.0,
+                COLORS[i % COLORS.len()],
+                lx + 16.0,
+                esc(name)
+            );
+        }
+        s.push_str("</svg>");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        let mut c = BarChart::new(
+            "Test",
+            vec!["read".into(), "write".into()],
+            "traffic (%)",
+        );
+        let g = c.group("FFT");
+        g.bars.push(Bar {
+            label: "1p".into(),
+            segments: vec![30.0, 10.0],
+        });
+        g.bars.push(Bar {
+            label: "4p".into(),
+            segments: vec![15.0, 5.0],
+        });
+        c
+    }
+
+    #[test]
+    fn produces_valid_svg_shell() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // Two bars × two segments = four rects plus background/legend.
+        assert!(svg.matches("<rect").count() >= 6);
+        assert!(svg.contains("FFT"));
+        assert!(svg.contains("read"));
+    }
+
+    #[test]
+    fn scales_to_largest_bar() {
+        let svg = chart().to_svg();
+        // The 40-unit bar must be drawn taller than the 20-unit bar:
+        // compare total rect heights per bar via the title tooltips.
+        assert!(svg.contains("1p: read = 30.0"));
+        assert!(svg.contains("4p: write = 5.0"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = BarChart::new("a<b", vec!["s&p".into()], "y");
+        c.group("g>h").bars.push(Bar {
+            label: "l<l".into(),
+            segments: vec![1.0],
+        });
+        let svg = c.to_svg();
+        assert!(!svg.contains("a<b"));
+        assert!(svg.contains("a&lt;b"));
+        assert!(svg.contains("s&amp;p"));
+    }
+
+    #[test]
+    fn empty_chart_is_still_valid() {
+        let c = BarChart::new("empty", vec![], "y");
+        let svg = c.to_svg();
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+}

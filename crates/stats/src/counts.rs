@@ -1,0 +1,152 @@
+//! Access counters and the Read Node Miss rate.
+
+/// The level of the hierarchy that satisfied an access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Level {
+    /// First-level cache hit (costs nothing; counted as busy time).
+    Flc,
+    /// Own second-level cache hit.
+    Slc,
+    /// Dirty transfer from another SLC in the same node.
+    PeerSlc,
+    /// Node's attraction memory hit (includes on-demand page allocation).
+    Am,
+    /// The access left the node over the global bus — a *node miss*.
+    Remote,
+}
+
+impl Level {
+    /// All levels, for iteration.
+    pub const ALL: [Level; 5] = [
+        Level::Flc,
+        Level::Slc,
+        Level::PeerSlc,
+        Level::Am,
+        Level::Remote,
+    ];
+
+    /// Index into per-level count arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            Level::Flc => 0,
+            Level::Slc => 1,
+            Level::PeerSlc => 2,
+            Level::Am => 3,
+            Level::Remote => 4,
+        }
+    }
+
+    /// Did the access stay inside the node?
+    #[inline]
+    pub fn is_node_local(self) -> bool {
+        self != Level::Remote
+    }
+}
+
+/// Per-machine (or per-processor) access counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// Reads by satisfying level.
+    pub reads: [u64; 5],
+    /// Writes by the level that granted ownership.
+    pub writes: [u64; 5],
+}
+
+impl AccessCounts {
+    pub fn record_read(&mut self, level: Level) {
+        self.reads[level.idx()] += 1;
+    }
+
+    pub fn record_write(&mut self, level: Level) {
+        self.writes[level.idx()] += 1;
+    }
+
+    /// Total reads performed.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total writes performed.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Reads that missed in the node (went on the global bus).
+    pub fn read_node_misses(&self) -> u64 {
+        self.reads[Level::Remote.idx()]
+    }
+
+    /// The paper's RNMr: node misses over *all* reads performed.
+    pub fn rnm_rate(&self) -> f64 {
+        let t = self.total_reads();
+        if t == 0 {
+            0.0
+        } else {
+            self.read_node_misses() as f64 / t as f64
+        }
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &AccessCounts) {
+        for i in 0..5 {
+            self.reads[i] += other.reads[i];
+            self.writes[i] += other.writes[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rnm_rate_over_all_reads() {
+        let mut c = AccessCounts::default();
+        for _ in 0..90 {
+            c.record_read(Level::Flc);
+        }
+        for _ in 0..10 {
+            c.record_read(Level::Remote);
+        }
+        assert!((c.rnm_rate() - 0.10).abs() < 1e-12);
+        assert_eq!(c.read_node_misses(), 10);
+        assert_eq!(c.total_reads(), 100);
+    }
+
+    #[test]
+    fn empty_counts_have_zero_rate() {
+        assert_eq!(AccessCounts::default().rnm_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = AccessCounts::default();
+        a.record_read(Level::Am);
+        a.record_write(Level::Slc);
+        let mut b = AccessCounts::default();
+        b.record_read(Level::Am);
+        b.record_read(Level::Remote);
+        a.merge(&b);
+        assert_eq!(a.reads[Level::Am.idx()], 2);
+        assert_eq!(a.reads[Level::Remote.idx()], 1);
+        assert_eq!(a.total_writes(), 1);
+    }
+
+    #[test]
+    fn level_locality() {
+        assert!(Level::Flc.is_node_local());
+        assert!(Level::PeerSlc.is_node_local());
+        assert!(Level::Am.is_node_local());
+        assert!(!Level::Remote.is_node_local());
+    }
+
+    #[test]
+    fn level_indices_unique() {
+        let mut seen = [false; 5];
+        for l in Level::ALL {
+            assert!(!seen[l.idx()]);
+            seen[l.idx()] = true;
+        }
+    }
+}

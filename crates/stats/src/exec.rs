@@ -1,0 +1,130 @@
+//! Execution-time decomposition (Figure 5).
+//!
+//! Per-processor time is split into the paper's four categories plus an
+//! explicit synchronization-wait bucket:
+//!
+//! * **busy** — instruction execution and FLC hits;
+//! * **slc** — stalls satisfied by the own second-level cache;
+//! * **am** — stalls satisfied inside the node (AM or a peer SLC);
+//! * **remote** — stalls that crossed the global bus (incl. write-buffer
+//!   full stalls attributed to the level that was draining);
+//! * **sync** — time parked at barriers and contended locks.
+//!
+//! When reproducing Figure 5 the sync bucket is folded into *remote*
+//! (barrier and lock hand-offs are dominated by the coherence misses on
+//! the sync lines, which is where the paper's categories put them).
+
+use coma_types::Nanos;
+
+/// One processor's (or the machine-average) time breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecBreakdown {
+    pub busy_ns: Nanos,
+    pub slc_ns: Nanos,
+    pub am_ns: Nanos,
+    pub remote_ns: Nanos,
+    pub sync_ns: Nanos,
+}
+
+impl ExecBreakdown {
+    /// Total accounted time.
+    pub fn total_ns(&self) -> Nanos {
+        self.busy_ns + self.slc_ns + self.am_ns + self.remote_ns + self.sync_ns
+    }
+
+    /// The paper's four Figure-5 segments `(busy, slc, am, remote)` with
+    /// sync folded into remote.
+    pub fn figure5_segments(&self) -> (Nanos, Nanos, Nanos, Nanos) {
+        (
+            self.busy_ns,
+            self.slc_ns,
+            self.am_ns,
+            self.remote_ns + self.sync_ns,
+        )
+    }
+
+    /// Fractions of total for the four Figure-5 segments.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_ns();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        let (b, s, a, r) = self.figure5_segments();
+        [
+            b as f64 / t as f64,
+            s as f64 / t as f64,
+            a as f64 / t as f64,
+            r as f64 / t as f64,
+        ]
+    }
+
+    pub fn merge(&mut self, o: &ExecBreakdown) {
+        self.busy_ns += o.busy_ns;
+        self.slc_ns += o.slc_ns;
+        self.am_ns += o.am_ns;
+        self.remote_ns += o.remote_ns;
+        self.sync_ns += o.sync_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_buckets() {
+        let e = ExecBreakdown {
+            busy_ns: 10,
+            slc_ns: 20,
+            am_ns: 30,
+            remote_ns: 40,
+            sync_ns: 5,
+        };
+        assert_eq!(e.total_ns(), 105);
+    }
+
+    #[test]
+    fn figure5_folds_sync_into_remote() {
+        let e = ExecBreakdown {
+            busy_ns: 1,
+            slc_ns: 2,
+            am_ns: 3,
+            remote_ns: 4,
+            sync_ns: 6,
+        };
+        assert_eq!(e.figure5_segments(), (1, 2, 3, 10));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let e = ExecBreakdown {
+            busy_ns: 25,
+            slc_ns: 25,
+            am_ns: 25,
+            remote_ns: 20,
+            sync_ns: 5,
+        };
+        let f = e.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_breakdown_has_zero_fractions() {
+        assert_eq!(ExecBreakdown::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = ExecBreakdown {
+            busy_ns: 1,
+            ..Default::default()
+        };
+        a.merge(&ExecBreakdown {
+            busy_ns: 2,
+            sync_ns: 3,
+            ..Default::default()
+        });
+        assert_eq!(a.busy_ns, 3);
+        assert_eq!(a.sync_ns, 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimal aligned-table and CSV rendering for the experiment binaries.
+//!
+//! No external dependency: the experiment harness prints the same rows
+//! and series the paper's figures show, as plain text and as CSV files
+//! suitable for replotting.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table that can also serialize to CSV.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align first column, right-align the rest (numbers).
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", c, width = widths[i]);
+                } else {
+                    let _ = write!(out, "{:>width$}", c, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting needed for our numeric content; commas in
+    /// cells are replaced by semicolons defensively).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| c.replace(',', ";")).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a ratio relative to a baseline as a percentage (paper style:
+/// "relative RNMr", "execution time vs baseline").
+pub fn rel(x: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        "n/a".to_string()
+    } else {
+        pct(x / baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["App", "RNMr"]);
+        t.row(vec!["FFT", "1.23%"]);
+        t.row(vec!["Water n2", "0.5%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("App"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // right-aligned numeric column
+        assert!(lines[2].ends_with("1.23%"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x", "1"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\nx,1\n");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["x,y"]);
+        assert_eq!(t.to_csv(), "a\nx;y\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn pct_and_rel() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(rel(0.4, 0.5), "80.0%");
+        assert_eq!(rel(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,136 @@
+//! Global-bus traffic, decomposed as in Figures 3 and 4.
+//!
+//! Transactions carry either a full cache line (64 bytes of data plus an
+//! 8-byte header) or just an address/command (8 bytes). The figures'
+//! three segments map to:
+//!
+//! * **read** — remote read fills (data);
+//! * **write** — ownership traffic: upgrades/invalidations (command) and
+//!   read-exclusive fetches (data);
+//! * **replace** — injections of displaced Owner/Exclusive lines (data),
+//!   ownership migrations to an existing replica (command), and page-outs.
+
+/// Bytes on the bus for a transaction carrying a data line.
+pub const DATA_TXN_BYTES: u64 = 72;
+/// Bytes for an address-only command transaction.
+pub const CMD_TXN_BYTES: u64 = 8;
+
+/// Accumulated global-bus traffic for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    pub replace_bytes: u64,
+    pub read_txns: u64,
+    pub write_txns: u64,
+    pub replace_txns: u64,
+    /// Injections that found no receiver and fell back to the OS.
+    pub pageouts: u64,
+}
+
+impl Traffic {
+    /// A remote read fill.
+    pub fn record_read_fill(&mut self) {
+        self.read_txns += 1;
+        self.read_bytes += DATA_TXN_BYTES;
+    }
+
+    /// An ownership upgrade (invalidation broadcast, no data).
+    pub fn record_upgrade(&mut self) {
+        self.write_txns += 1;
+        self.write_bytes += CMD_TXN_BYTES;
+    }
+
+    /// A read-exclusive fetch (write miss bringing data + invalidating).
+    pub fn record_read_exclusive(&mut self) {
+        self.write_txns += 1;
+        self.write_bytes += DATA_TXN_BYTES;
+    }
+
+    /// An injection carrying the displaced line's data.
+    pub fn record_injection(&mut self) {
+        self.replace_txns += 1;
+        self.replace_bytes += DATA_TXN_BYTES;
+    }
+
+    /// An ownership migration to a node that already holds a replica.
+    pub fn record_ownership_migration(&mut self) {
+        self.replace_txns += 1;
+        self.replace_bytes += CMD_TXN_BYTES;
+    }
+
+    /// A failed injection: the line leaves the machine via the OS.
+    pub fn record_pageout(&mut self) {
+        self.pageouts += 1;
+        self.replace_txns += 1;
+        self.replace_bytes += DATA_TXN_BYTES;
+    }
+
+    /// Total bytes moved over the global bus.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes + self.replace_bytes
+    }
+
+    /// Total transactions.
+    pub fn total_txns(&self) -> u64 {
+        self.read_txns + self.write_txns + self.replace_txns
+    }
+
+    pub fn merge(&mut self, o: &Traffic) {
+        self.read_bytes += o.read_bytes;
+        self.write_bytes += o.write_bytes;
+        self.replace_bytes += o.replace_bytes;
+        self.read_txns += o.read_txns;
+        self.write_txns += o.write_txns;
+        self.replace_txns += o.replace_txns;
+        self.pageouts += o.pageouts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_accumulate_independently() {
+        let mut t = Traffic::default();
+        t.record_read_fill();
+        t.record_read_fill();
+        t.record_upgrade();
+        t.record_injection();
+        assert_eq!(t.read_bytes, 2 * DATA_TXN_BYTES);
+        assert_eq!(t.write_bytes, CMD_TXN_BYTES);
+        assert_eq!(t.replace_bytes, DATA_TXN_BYTES);
+        assert_eq!(t.total_txns(), 4);
+        assert_eq!(t.total_bytes(), 3 * DATA_TXN_BYTES + CMD_TXN_BYTES);
+    }
+
+    #[test]
+    fn read_exclusive_counts_as_write_traffic() {
+        let mut t = Traffic::default();
+        t.record_read_exclusive();
+        assert_eq!(t.write_bytes, DATA_TXN_BYTES);
+        assert_eq!(t.read_bytes, 0);
+    }
+
+    #[test]
+    fn pageout_counts_in_replacement() {
+        let mut t = Traffic::default();
+        t.record_pageout();
+        assert_eq!(t.pageouts, 1);
+        assert_eq!(t.replace_txns, 1);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Traffic::default();
+        a.record_read_fill();
+        let mut b = Traffic::default();
+        b.record_injection();
+        b.record_pageout();
+        a.merge(&b);
+        assert_eq!(a.read_txns, 1);
+        assert_eq!(a.replace_txns, 2);
+        assert_eq!(a.pageouts, 1);
+    }
+}

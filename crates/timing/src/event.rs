@@ -1,0 +1,78 @@
+//! Processor wake-up ordering.
+//!
+//! The whole-machine simulation is driven by repeatedly advancing the
+//! processor with the earliest pending wake-up time. Ties are broken by
+//! processor id so runs are fully deterministic.
+
+use coma_types::{Nanos, ProcId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of `(time, processor)` wake-ups.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Nanos, u16)>>,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `proc` to run at `time`.
+    pub fn push(&mut self, time: Nanos, proc: ProcId) {
+        self.heap.push(Reverse((time, proc.0)));
+    }
+
+    /// Remove and return the earliest wake-up.
+    pub fn pop(&mut self) -> Option<(Nanos, ProcId)> {
+        self.heap.pop().map(|Reverse((t, p))| (t, ProcId(p)))
+    }
+
+    /// Time of the earliest wake-up without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse((t, _))| *t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, ProcId(0));
+        q.push(10, ProcId(1));
+        q.push(20, ProcId(2));
+        assert_eq!(q.pop(), Some((10, ProcId(1))));
+        assert_eq!(q.pop(), Some((20, ProcId(2))));
+        assert_eq!(q.pop(), Some((30, ProcId(0))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_proc_id() {
+        let mut q = EventQueue::new();
+        q.push(10, ProcId(5));
+        q.push(10, ProcId(2));
+        assert_eq!(q.pop(), Some((10, ProcId(2))));
+        assert_eq!(q.pop(), Some((10, ProcId(5))));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7, ProcId(0));
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-processor write buffer under release consistency (paper §3.2:
+//! "a release consistency model with a 10 entry write buffer").
+//!
+//! A write retires into the buffer immediately; the ownership acquisition
+//! and data transfer proceed in the background, finishing at a completion
+//! time computed by the memory system. The processor stalls only when
+//!
+//! * the buffer is full — it waits for the oldest outstanding write to
+//!   complete — or
+//! * it executes a *release* (unlock, barrier entry), at which point all
+//!   buffered writes must have completed before the release is visible.
+
+use coma_types::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A bounded buffer of in-flight writes, identified by completion time.
+#[derive(Clone, Debug)]
+pub struct WriteBuffer {
+    capacity: usize,
+    in_flight: BinaryHeap<Reverse<Nanos>>,
+    /// Total time processors spent stalled on a full buffer.
+    full_stall_ns: Nanos,
+}
+
+impl WriteBuffer {
+    /// Create a buffer with the given entry count (10 in the paper).
+    /// A capacity of 0 means every write stalls until it completes
+    /// (processor-blocking writes; ablation configuration).
+    pub fn new(capacity: usize) -> Self {
+        WriteBuffer {
+            capacity,
+            in_flight: BinaryHeap::new(),
+            full_stall_ns: 0,
+        }
+    }
+
+    /// Drop entries that have completed by `now`.
+    fn retire(&mut self, now: Nanos) {
+        while matches!(self.in_flight.peek(), Some(&Reverse(t)) if t <= now) {
+            self.in_flight.pop();
+        }
+    }
+
+    /// Record a write that will complete at `completes_at`, issued at
+    /// `now`. Returns the time at which the *processor* may continue:
+    /// `now` if a slot was free, later if it had to wait for one (or for
+    /// the write itself when capacity is 0).
+    pub fn push(&mut self, now: Nanos, completes_at: Nanos) -> Nanos {
+        self.retire(now);
+        if self.capacity == 0 {
+            // Blocking writes: the processor waits out the whole write.
+            let resume = completes_at.max(now);
+            self.full_stall_ns += resume - now;
+            return resume;
+        }
+        let mut resume = now;
+        if self.in_flight.len() >= self.capacity {
+            let Reverse(oldest) = self.in_flight.pop().expect("buffer full implies non-empty");
+            resume = oldest.max(now);
+            self.full_stall_ns += resume - now;
+            // Entries that completed while we waited also retire.
+            self.retire(resume);
+        }
+        self.in_flight.push(Reverse(completes_at));
+        resume
+    }
+
+    /// Drain the buffer at a release point: returns the time at which all
+    /// currently buffered writes have completed (≥ `now`), and empties it.
+    pub fn drain(&mut self, now: Nanos) -> Nanos {
+        let done = self
+            .in_flight
+            .iter()
+            .map(|&Reverse(t)| t)
+            .max()
+            .unwrap_or(now)
+            .max(now);
+        self.in_flight.clear();
+        done
+    }
+
+    /// Writes currently outstanding (after retiring completions at `now`).
+    pub fn outstanding(&mut self, now: Nanos) -> usize {
+        self.retire(now);
+        self.in_flight.len()
+    }
+
+    /// Accumulated full-buffer stall time.
+    pub fn full_stall_ns(&self) -> Nanos {
+        self.full_stall_ns
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_full_buffer_never_stalls() {
+        let mut wb = WriteBuffer::new(4);
+        for i in 0..4 {
+            assert_eq!(wb.push(i, i + 1000), i);
+        }
+        assert_eq!(wb.full_stall_ns(), 0);
+    }
+
+    #[test]
+    fn full_buffer_stalls_until_oldest_completes() {
+        let mut wb = WriteBuffer::new(2);
+        wb.push(0, 100);
+        wb.push(0, 200);
+        // Buffer full; oldest completes at 100.
+        assert_eq!(wb.push(10, 300), 100);
+        assert_eq!(wb.full_stall_ns(), 90);
+    }
+
+    #[test]
+    fn completed_writes_free_slots() {
+        let mut wb = WriteBuffer::new(2);
+        wb.push(0, 50);
+        wb.push(0, 60);
+        // At t=70 both completed; no stall.
+        assert_eq!(wb.push(70, 500), 70);
+        assert_eq!(wb.outstanding(70), 1);
+    }
+
+    #[test]
+    fn drain_waits_for_slowest() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(0, 100);
+        wb.push(0, 400);
+        wb.push(0, 250);
+        assert_eq!(wb.drain(50), 400);
+        assert_eq!(wb.outstanding(50), 0);
+    }
+
+    #[test]
+    fn drain_empty_returns_now() {
+        let mut wb = WriteBuffer::new(4);
+        assert_eq!(wb.drain(123), 123);
+    }
+
+    #[test]
+    fn drain_never_travels_back_in_time() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(0, 100);
+        assert_eq!(wb.drain(500), 500);
+    }
+
+    #[test]
+    fn zero_capacity_blocks_every_write() {
+        let mut wb = WriteBuffer::new(0);
+        assert_eq!(wb.push(10, 300), 300);
+        assert_eq!(wb.full_stall_ns(), 290);
+        assert_eq!(wb.outstanding(300), 0);
+    }
+
+    #[test]
+    fn outstanding_counts_in_flight_only() {
+        let mut wb = WriteBuffer::new(8);
+        wb.push(0, 100);
+        wb.push(0, 200);
+        wb.push(0, 300);
+        assert_eq!(wb.outstanding(150), 2);
+        assert_eq!(wb.outstanding(250), 1);
+        assert_eq!(wb.outstanding(350), 0);
+    }
+}

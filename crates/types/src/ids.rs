@@ -1,0 +1,112 @@
+//! Processor and node identifiers.
+//!
+//! Processes are assigned to processors in sequential order (paper §3.1):
+//! processor `p` lives in node `p / procs_per_node`, so processes created
+//! after one another land in the same cluster and trivial communication
+//! locality is exploitable by clustering.
+
+use std::fmt;
+
+/// Identifier of one of the (16) simulated processors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub u16);
+
+/// Identifier of one of the (16 / 8 / 4) nodes; each node holds one
+/// attraction memory shared by its processors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl ProcId {
+    /// The node this processor belongs to under sequential assignment.
+    #[inline]
+    pub fn node(self, procs_per_node: usize) -> NodeId {
+        debug_assert!(procs_per_node > 0);
+        NodeId(self.0 / procs_per_node as u16)
+    }
+
+    /// Index of this processor within its node (0 .. procs_per_node).
+    #[inline]
+    pub fn index_in_node(self, procs_per_node: usize) -> usize {
+        (self.0 as usize) % procs_per_node
+    }
+
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// Processors belonging to this node under sequential assignment.
+    pub fn procs(self, procs_per_node: usize) -> impl Iterator<Item = ProcId> {
+        let base = self.0 as usize * procs_per_node;
+        (base..base + procs_per_node).map(|p| ProcId(p as u16))
+    }
+
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_assignment_four_per_node() {
+        assert_eq!(ProcId(0).node(4), NodeId(0));
+        assert_eq!(ProcId(3).node(4), NodeId(0));
+        assert_eq!(ProcId(4).node(4), NodeId(1));
+        assert_eq!(ProcId(15).node(4), NodeId(3));
+    }
+
+    #[test]
+    fn sequential_assignment_one_per_node() {
+        for p in 0..16 {
+            assert_eq!(ProcId(p).node(1), NodeId(p));
+        }
+    }
+
+    #[test]
+    fn index_in_node() {
+        assert_eq!(ProcId(5).index_in_node(4), 1);
+        assert_eq!(ProcId(5).index_in_node(2), 1);
+        assert_eq!(ProcId(5).index_in_node(1), 0);
+    }
+
+    #[test]
+    fn node_proc_iteration_roundtrip() {
+        for ppn in [1usize, 2, 4] {
+            for p in 0..16u16 {
+                let pid = ProcId(p);
+                let node = pid.node(ppn);
+                assert!(node.procs(ppn).any(|q| q == pid));
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Memory-pressure arithmetic (paper §2 and §4.2).
+//!
+//! The *memory pressure* (MP) of an execution is the ratio between the
+//! application's working set and the total attraction-memory capacity:
+//!
+//! ```text
+//! MP = working_set / total_attraction_memory
+//! ```
+//!
+//! The paper's experiments use MPs of 6.25 %, 50 %, 75 %, 81.25 % and
+//! 87.5 % — chosen so that a single copy of the working set entirely fills
+//! 1, 8, 12, 13 or 14 of the 16 per-processor attraction-memory shares.
+//! The MP is represented exactly as a rational so the AM sizes derived from
+//! it stay integral and the working set can be held constant across the
+//! whole experiment matrix (paper §3.1).
+
+use std::fmt;
+
+/// A memory pressure expressed exactly as `filled / total` sixteenths
+/// (or any other rational).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemoryPressure {
+    /// Number of per-processor AM shares a single working-set copy fills.
+    pub num: u32,
+    /// Total per-processor AM shares in the machine (16 in the paper).
+    pub den: u32,
+}
+
+impl MemoryPressure {
+    /// 6.25 % — one sixteenth; effectively infinite caches, the working set
+    /// fits in every attraction memory so only cold and coherence misses
+    /// occur (paper §4.1).
+    pub const MP_6: MemoryPressure = MemoryPressure { num: 1, den: 16 };
+    /// 50 % — the paper's execution-time baseline (§4.3).
+    pub const MP_50: MemoryPressure = MemoryPressure { num: 8, den: 16 };
+    /// 75 %.
+    pub const MP_75: MemoryPressure = MemoryPressure { num: 12, den: 16 };
+    /// 81.25 % — the highest pressure at which clustering still reduces
+    /// traffic for every application (paper §4.2).
+    pub const MP_81: MemoryPressure = MemoryPressure { num: 13, den: 16 };
+    /// 87.5 % — the very high pressure at which conflict misses appear for
+    /// the widely-replicating applications (paper §4.2).
+    pub const MP_87: MemoryPressure = MemoryPressure { num: 14, den: 16 };
+
+    /// All five pressures used in the paper's traffic figures, ascending.
+    pub const PAPER_SWEEP: [MemoryPressure; 5] = [
+        Self::MP_6,
+        Self::MP_50,
+        Self::MP_75,
+        Self::MP_81,
+        Self::MP_87,
+    ];
+
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(den > 0 && num > 0 && num <= den, "MP must be in (0, 1]");
+        MemoryPressure { num, den }
+    }
+
+    /// The pressure as a floating-point fraction.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Percentage, for display.
+    #[inline]
+    pub fn percent(self) -> f64 {
+        self.as_f64() * 100.0
+    }
+
+    /// Total attraction-memory bytes across the machine for a working set
+    /// of `ws_bytes`: `total = ws / MP`, rounded up to keep MP ≤ nominal.
+    #[inline]
+    pub fn total_am_bytes(self, ws_bytes: u64) -> u64 {
+        (ws_bytes * self.den as u64).div_ceil(self.num as u64)
+    }
+}
+
+impl fmt::Display for MemoryPressure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = self.percent();
+        if (pct - pct.round()).abs() < 1e-9 {
+            write!(f, "{}%", pct.round() as u64)
+        } else {
+            write!(f, "{:.2}%", pct)
+        }
+    }
+}
+
+/// Highest memory pressure at which one cache line can still be replicated
+/// in **all** nodes of the machine, as a rational `(num, den)`.
+///
+/// Reasoning (paper §4.2): consider all lines mapping to one set index.
+/// Globally that set index owns `n_nodes × assoc` way-slots. A fraction MP
+/// of them holds unique (unreplicated) data; replicating one line into
+/// every node requires `n_nodes − 1` extra copies beyond its single owner
+/// copy. Full replication is possible while
+/// `MP ≤ (n_nodes·assoc − (n_nodes − 1)) / (n_nodes·assoc)`.
+///
+/// This reproduces the paper's thresholds exactly:
+/// 16 nodes × 4-way → 49/64 (76.5 %); 16 × 8-way → 113/128 (88.2 %);
+/// 4 nodes × 4-way → 13/16 (81.25 %); 4 × 8-way → 29/32 (90.6 %).
+pub fn full_replication_threshold(n_nodes: u32, assoc: u32) -> (u32, u32) {
+    assert!(n_nodes > 0 && assoc > 0);
+    let slots = n_nodes * assoc;
+    let replicas = n_nodes - 1;
+    assert!(slots > replicas, "associativity too small to ever replicate");
+    (slots - replicas, slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pressure_values() {
+        assert!((MemoryPressure::MP_6.as_f64() - 0.0625).abs() < 1e-12);
+        assert!((MemoryPressure::MP_50.as_f64() - 0.5).abs() < 1e-12);
+        assert!((MemoryPressure::MP_75.as_f64() - 0.75).abs() < 1e-12);
+        assert!((MemoryPressure::MP_81.as_f64() - 0.8125).abs() < 1e-12);
+        assert!((MemoryPressure::MP_87.as_f64() - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_am_inverse_of_pressure() {
+        let ws = 1 << 20; // 1 MiB
+        assert_eq!(MemoryPressure::MP_50.total_am_bytes(ws), 2 << 20);
+        assert_eq!(MemoryPressure::MP_6.total_am_bytes(ws), 16 << 20);
+    }
+
+    #[test]
+    fn total_am_rounds_up() {
+        // ws=100, MP=3/16 → 100*16/3 = 533.33 → 534
+        let mp = MemoryPressure::new(3, 16);
+        assert_eq!(mp.total_am_bytes(100), 534);
+    }
+
+    #[test]
+    fn paper_replication_thresholds() {
+        // Paper §4.2, verbatim numbers.
+        assert_eq!(full_replication_threshold(16, 4), (49, 64));
+        assert_eq!(full_replication_threshold(16, 8), (113, 128));
+        assert_eq!(full_replication_threshold(4, 4), (13, 16));
+        assert_eq!(full_replication_threshold(4, 8), (29, 32));
+    }
+
+    #[test]
+    fn threshold_monotone_in_assoc() {
+        let (n1, d1) = full_replication_threshold(16, 4);
+        let (n2, d2) = full_replication_threshold(16, 8);
+        assert!((n2 as f64 / d2 as f64) > (n1 as f64 / d1 as f64));
+    }
+
+    #[test]
+    fn clustering_raises_threshold() {
+        // 4-processor clusters (4 nodes) tolerate higher MP than 16 nodes.
+        let (n1, d1) = full_replication_threshold(16, 4);
+        let (n2, d2) = full_replication_threshold(4, 4);
+        assert!((n2 as f64 / d2 as f64) > (n1 as f64 / d1 as f64));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MemoryPressure::MP_50.to_string(), "50%");
+        assert_eq!(MemoryPressure::MP_81.to_string(), "81.25%");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pressure_rejected() {
+        MemoryPressure::new(0, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_unity_pressure_rejected() {
+        MemoryPressure::new(17, 16);
+    }
+}

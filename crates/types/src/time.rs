@@ -1,0 +1,41 @@
+//! Simulated time.
+//!
+//! All simulated time is carried in nanoseconds as a plain `u64`. The
+//! paper's processors run at 250 MHz, i.e. a 4 ns cycle, and execute 4
+//! instructions per cycle, so one *instruction slot* is exactly 1 ns —
+//! a convenient accident that keeps all bookkeeping integral.
+
+/// Simulated nanoseconds.
+pub type Nanos = u64;
+
+/// Nanoseconds per processor clock cycle (250 MHz).
+pub const CYCLE_NS: Nanos = 4;
+
+/// Instructions issued per cycle (4-way superscalar, paper §3.2).
+pub const INSTR_PER_CYCLE: u64 = 4;
+
+/// Time, in nanoseconds, to execute `n` instructions with no memory stalls.
+///
+/// 4 instructions per 4 ns cycle ⇒ 1 ns per instruction, rounded up to
+/// whole nanoseconds (sub-slot remainders are negligible at trace scale).
+#[inline]
+pub fn instr_time(n: u64) -> Nanos {
+    n * CYCLE_NS / INSTR_PER_CYCLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_instruction_is_one_ns() {
+        assert_eq!(instr_time(1), 1);
+        assert_eq!(instr_time(4), 4);
+        assert_eq!(instr_time(1000), 1000);
+    }
+
+    #[test]
+    fn zero_instructions_take_no_time() {
+        assert_eq!(instr_time(0), 0);
+    }
+}

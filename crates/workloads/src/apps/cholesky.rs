@@ -1,0 +1,170 @@
+//! Cholesky analogue — SPLASH-2 "sparse matrix factorization, tk29.O".
+//!
+//! Structure reproduced: supernodal panels processed through a
+//! lock-guarded task queue; at each step one *source panel* (chosen
+//! identically on every processor) is read by the processors whose own
+//! panels it updates — data migrates producer→consumer rather than being
+//! replicated machine-wide, so Cholesky stays in the well-behaved
+//! Figure 3 group. Each processor reads a different chunk of the source
+//! panel (sparse column overlap), then tile-updates its own panel.
+
+use crate::pattern::BlockWalker;
+use crate::region::{Layout, Region};
+use crate::stream::{shared_rng, OpBuf, PhaseGen, Scale};
+use crate::workload::Workload;
+
+const SALT: u64 = 0xC401;
+const BASE_STEPS: u32 = 64;
+const N_LOCKS: u32 = 16;
+const PANEL_BLOCK_LINES: u64 = 8;
+
+struct Cholesky {
+    me: usize,
+    nprocs: usize,
+    seed: u64,
+    steps: u32,
+    matrix: Region,
+    own_panel: Region,
+}
+
+impl PhaseGen for Cholesky {
+    fn n_iters(&self) -> u32 {
+        self.steps
+    }
+
+    fn gen_iter(&mut self, step: u32, buf: &mut OpBuf) {
+        // All processors agree on this step's source panel.
+        let mut srng = shared_rng(self.seed, SALT, step);
+        let n_panels = self.nprocs as u64;
+        let src_owner = srng.below(n_panels) as usize;
+        let src = self.matrix.partition(self.nprocs)[src_owner];
+
+        // Task dequeue under lock.
+        let lock = (self.me as u32 + step) % N_LOCKS.min(16);
+        buf.lock(lock);
+        buf.compute(12);
+        buf.unlock(lock);
+
+        // Read "my" chunk of the source panel: chunks overlap their
+        // neighbour's by half (sparse column structure), so a line is
+        // typically read by two or three processors, not all sixteen.
+        let chunk = (src.lines() / self.nprocs as u64).max(1);
+        // The row structure consumed from a sparse panel differs per
+        // update step, so the chunk position rotates with the step —
+        // this also prevents degenerate set aliasing between panels.
+        let start = (self.me as u64 * chunk + step as u64 * 97) % src.lines();
+        for i in 0..chunk * 5 / 4 {
+            let a = src.line(start + i);
+            buf.read(a);
+            buf.read(a);
+        }
+
+        // Tile-update the own panel (supernodal dgemm: several reads per
+        // target line before the store).
+        let mut w = BlockWalker::new(self.own_panel, PANEL_BLOCK_LINES);
+        w.seek_block(step as u64);
+        for _ in 0..(self.own_panel.lines() / 8).max(8) {
+            let a = w.next_addr();
+            buf.read(a);
+            buf.read(a);
+            buf.update(a);
+        }
+
+        if step % 4 == 3 {
+            buf.barrier();
+        }
+    }
+}
+
+/// Build the Cholesky workload.
+pub fn build(nprocs: usize, seed: u64, scale: Scale, ws_bytes: u64) -> Workload {
+    let mut layout = Layout::new();
+    let matrix = layout.alloc_bytes(ws_bytes);
+    let parts = matrix.partition(nprocs);
+    let streams = super::build_streams(nprocs, seed, SALT, (40, 90), |me| Cholesky {
+        me,
+        nprocs,
+        seed,
+        steps: scale.iters(BASE_STEPS),
+        matrix,
+        own_panel: parts[me],
+    });
+    Workload {
+        name: "Cholesky",
+        ws_bytes: layout.total_bytes(),
+        n_locks: N_LOCKS,
+        streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, OpStream};
+
+    #[test]
+    fn source_panel_agreement_across_procs() {
+        // Two processors must read from the same (shared-rng-chosen)
+        // source panel in the same step. We check that their read sets
+        // overlap somewhere (chunks overlap by half).
+        let mut wl = build(4, 21, Scale::SMOKE, 512 * 1024);
+        let collect = |s: &mut Box<dyn OpStream>| {
+            let mut v = std::collections::HashSet::new();
+            while let Some(op) = s.next_op() {
+                if let Op::Read(a) = op {
+                    v.insert(a.line().0);
+                }
+            }
+            v
+        };
+        let r0 = collect(&mut wl.streams[0]);
+        let r1 = collect(&mut wl.streams[1]);
+        assert!(r0.intersection(&r1).count() > 0);
+    }
+
+    #[test]
+    fn barriers_are_sparse() {
+        // Cholesky synchronizes through locks, with only occasional
+        // barriers — fewer barriers than steps.
+        let mut wl = build(4, 21, Scale::PAPER, 512 * 1024);
+        let mut barriers = 0u32;
+        let mut locks = 0u32;
+        while let Some(op) = wl.streams[0].next_op() {
+            match op {
+                Op::Barrier(_) => barriers += 1,
+                Op::Lock(_) => locks += 1,
+                _ => {}
+            }
+        }
+        assert!(locks > barriers * 2, "locks={locks} barriers={barriers}");
+    }
+
+    #[test]
+    fn not_machine_wide_replicated() {
+        // No line should be read by ALL processors in a smoke run —
+        // that is what keeps Cholesky out of the Figure 4 group.
+        let mut wl = build(8, 21, Scale::SMOKE, 512 * 1024);
+        let sets: Vec<std::collections::HashSet<u64>> = wl
+            .streams
+            .iter_mut()
+            .map(|s| {
+                let mut v = std::collections::HashSet::new();
+                while let Some(op) = s.next_op() {
+                    if let Op::Read(a) = op {
+                        v.insert(a.line().0);
+                    }
+                }
+                v
+            })
+            .collect();
+        let common = sets[0]
+            .iter()
+            .filter(|l| sets[1..].iter().all(|s| s.contains(l)))
+            .count();
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        assert!(
+            (common as f64) < 0.05 * total as f64,
+            "too much machine-wide sharing: {common}/{total}"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! LU factorization analogues — SPLASH-2 "Blocked LU, 512×512" in both
+//! the *contiguous* (enhanced-locality) and *non-contiguous* layouts.
+//!
+//! **LU-cont** reproduces the blocked algorithm: at step `k` the diagonal
+//! (pivot) block is factored and then **read by every processor** to
+//! update its own blocks. The pivot block rotates across the matrix, so
+//! over a run a large fraction of the working set becomes replicated in
+//! every node — this is what makes LU-cont one of the six conflict-miss
+//! applications of Figure 4 at 87.5 % memory pressure. Accesses inside
+//! blocks are tile-walked (good locality, moderate compute per reference).
+//!
+//! **LU-non** reproduces the non-blocked, column-oriented version:
+//! strided sweeps with poor locality, a broadcast pivot column, little
+//! compute between references (the highest bandwidth demand of the suite
+//! — it is the one application the paper finds dominated by intra-node
+//! contention under clustering, Figure 5), and false sharing on partition
+//! boundary lines, which gives it the largest clustering RNMr gain in
+//! Figure 2.
+
+use crate::pattern::{BlockWalker, StrideWalker};
+use crate::region::{Layout, Region};
+use crate::stream::{OpBuf, PhaseGen, Scale};
+use crate::workload::Workload;
+
+const SALT_CONT: u64 = 0x10C;
+const SALT_NON: u64 = 0x10A;
+const BASE_STEPS_CONT: u32 = 96;
+const BASE_STEPS_NON: u32 = 64;
+/// Lines per block in the contiguous (blocked) version.
+const BLOCK_LINES: u64 = 16;
+
+struct LuCont {
+    me: usize,
+    steps: u32,
+    matrix: Region,
+    own_panel: Region,
+    parts_far: Vec<Region>,
+}
+
+impl PhaseGen for LuCont {
+    fn n_iters(&self) -> u32 {
+        self.steps
+    }
+
+    fn gen_iter(&mut self, step: u32, buf: &mut OpBuf) {
+        let n_blocks = self.matrix.lines() / BLOCK_LINES;
+        // The step's diagonal block, identical on every processor.
+        let pivot = (step as u64) % n_blocks;
+        let pivot_region = self.matrix.slice(pivot * BLOCK_LINES, BLOCK_LINES);
+
+        if self.me == 0 {
+            // The pivot owner factors the diagonal block in place.
+            for i in 0..BLOCK_LINES {
+                buf.update(pivot_region.line(i));
+            }
+        }
+        buf.barrier();
+
+        // Everyone reads the pivot block (machine-wide replication); the
+        // block's values are re-read for every row of the own panel, but
+        // after the first pass they sit in the FLC/SLC.
+        for i in 0..BLOCK_LINES {
+            let a = pivot_region.line(i);
+            buf.read(a);
+            buf.read(a);
+        }
+        // A trailing update of block (i,j) also needs the L-column block
+        // A(i,k), owned by a different (rotating, me-dependent) processor
+        // — communication that cluster-mates do *not* share.
+        let far = &self.parts_far[(self.me + 1 + step as usize) % self.parts_far.len()];
+        let far_off = (self.me as u64 * BLOCK_LINES) % far.lines();
+        for i in 0..BLOCK_LINES {
+            buf.read(far.line(far_off + i));
+        }
+        // … and tile-updates its own panel of blocks (dgemm-style: each
+        // target line is read, combined with pivot data, written).
+        let mut w = BlockWalker::new(self.own_panel, BLOCK_LINES);
+        w.seek_block((step as u64) % w.n_blocks());
+        for k in 0..self.own_panel.lines() {
+            let a = w.next_addr();
+            buf.read(a);
+            buf.read(a);
+            buf.update(a);
+            // Re-consult a pivot line (FLC/SLC-resident).
+            buf.read(pivot_region.line(k % BLOCK_LINES));
+        }
+        buf.barrier();
+    }
+}
+
+struct LuNon {
+    me: usize,
+    nprocs: usize,
+    steps: u32,
+    parts: Vec<Region>,
+}
+
+impl PhaseGen for LuNon {
+    fn n_iters(&self) -> u32 {
+        self.steps
+    }
+
+    fn gen_iter(&mut self, step: u32, buf: &mut OpBuf) {
+        // The pivot column lives in the panel of processor `step % nprocs`
+        // and is strided through it (column of a row-major matrix).
+        let owner = step as usize % self.nprocs;
+        let pivot_panel = self.parts[owner];
+        // Each processor needs the pivot column rows that intersect its
+        // own columns: the walk is offset per processor, so only part of
+        // the broadcast is shared with cluster-mates.
+        let mut pivot = StrideWalker::starting_at(
+            pivot_panel,
+            3,
+            step as u64 + self.me as u64 * 5,
+        );
+        let pivot_reads = (pivot_panel.lines() / 2).max(1);
+        for _ in 0..pivot_reads {
+            buf.read(pivot.next_addr());
+        }
+
+        // Strided update sweeps over the own panel — poor locality, almost
+        // no compute between references: pure bandwidth demand. The daxpy
+        // inner loop reads the pivot element and the target element before
+        // storing, so each visited line takes several back-to-back
+        // references.
+        let own = self.parts[self.me];
+        let mut sweep = StrideWalker::starting_at(own, 7, step as u64 * 5);
+        for _ in 0..own.lines() * 2 {
+            let a = sweep.next_addr();
+            buf.read(a);
+            buf.read(a);
+            buf.update(a);
+        }
+
+        // False sharing: touch a few lines at the foot of the *next*
+        // processor's panel (boundary rows shared by adjacent panels).
+        let neigh = self.parts[(self.me + 1) % self.nprocs];
+        for i in 0..8u64.min(neigh.lines()) {
+            buf.update(neigh.line(i));
+        }
+        buf.barrier();
+    }
+}
+
+/// Build the contiguous (blocked, enhanced-locality) LU workload.
+pub fn build_cont(nprocs: usize, seed: u64, scale: Scale, ws_bytes: u64) -> Workload {
+    let mut layout = Layout::new();
+    let matrix = layout.alloc_bytes(ws_bytes);
+    // Each processor owns a contiguous panel of blocks.
+    let parts = matrix.partition(nprocs);
+    let streams = super::build_streams(nprocs, seed, SALT_CONT, (32, 80), |me| LuCont {
+        me,
+        steps: scale.iters(BASE_STEPS_CONT),
+        matrix,
+        own_panel: parts[me],
+        parts_far: parts.clone(),
+    });
+    Workload {
+        name: "LU cont",
+        ws_bytes: layout.total_bytes(),
+        n_locks: 0,
+        streams,
+    }
+}
+
+/// Build the non-contiguous (column-sweep) LU workload.
+pub fn build_non(nprocs: usize, seed: u64, scale: Scale, ws_bytes: u64) -> Workload {
+    let mut layout = Layout::new();
+    let matrix = layout.alloc_bytes(ws_bytes);
+    let parts = matrix.partition(nprocs);
+    let streams = super::build_streams(nprocs, seed, SALT_NON, (0, 1), |me| LuNon {
+        me,
+        nprocs,
+        steps: scale.iters(BASE_STEPS_NON),
+        parts: parts.clone(),
+    });
+    Workload {
+        name: "LU non",
+        ws_bytes: layout.total_bytes(),
+        n_locks: 0,
+        streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, OpStream};
+    use std::collections::HashSet;
+
+    fn drain_lines(s: &mut Box<dyn OpStream>) -> (HashSet<u64>, HashSet<u64>) {
+        let mut reads = HashSet::new();
+        let mut writes = HashSet::new();
+        while let Some(op) = s.next_op() {
+            match op {
+                Op::Read(a) => {
+                    reads.insert(a.line().0);
+                }
+                Op::Write(a) => {
+                    writes.insert(a.line().0);
+                }
+                _ => {}
+            }
+        }
+        (reads, writes)
+    }
+
+    #[test]
+    fn cont_pivot_read_by_everyone() {
+        let mut wl = build_cont(4, 1, Scale::SMOKE, 256 * 1024);
+        let sets: Vec<_> = wl.streams.iter_mut().map(drain_lines).collect();
+        // Some line is read by all four processors (the pivot block).
+        let common: Vec<u64> = sets[0]
+            .0
+            .iter()
+            .filter(|l| sets[1..].iter().all(|(r, _)| r.contains(l)))
+            .copied()
+            .collect();
+        assert!(!common.is_empty(), "no machine-wide read-shared lines");
+    }
+
+    #[test]
+    fn non_has_boundary_false_sharing() {
+        let mut wl = build_non(4, 1, Scale::SMOKE, 256 * 1024);
+        let sets: Vec<_> = wl.streams.iter_mut().map(drain_lines).collect();
+        // Proc 0 writes lines that proc 1 also writes (boundary rows).
+        let shared_writes = sets[0].1.intersection(&sets[1].1).count();
+        assert!(shared_writes > 0, "no write-shared boundary lines");
+    }
+
+    #[test]
+    fn non_is_bandwidth_heavier_than_cont() {
+        // LU-non emits more refs per compute instruction than LU-cont.
+        let density = |wl: &mut Workload| {
+            let mut refs = 0u64;
+            let mut instr = 0u64;
+            while let Some(op) = wl.streams[0].next_op() {
+                match op {
+                    Op::Read(_) | Op::Write(_) => refs += 1,
+                    Op::Compute(n) => instr += n as u64,
+                    _ => {}
+                }
+            }
+            refs as f64 / instr.max(1) as f64
+        };
+        let mut c = build_cont(4, 1, Scale::SMOKE, 256 * 1024);
+        let mut n = build_non(4, 1, Scale::SMOKE, 256 * 1024);
+        assert!(density(&mut n) > density(&mut c));
+    }
+
+    #[test]
+    fn working_set_is_respected() {
+        for wl in [
+            &mut build_cont(4, 1, Scale::SMOKE, 128 * 1024),
+            &mut build_non(4, 1, Scale::SMOKE, 128 * 1024),
+        ] {
+            for s in &mut wl.streams {
+                while let Some(op) = s.next_op() {
+                    if let Op::Read(a) | Op::Write(a) = op {
+                        assert!(a.0 < wl.ws_bytes);
+                    }
+                }
+            }
+        }
+    }
+}

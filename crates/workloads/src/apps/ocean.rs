@@ -1,0 +1,259 @@
+//! Ocean analogues — SPLASH-2 "Ocean movement simulation, 258×258" in
+//! the contiguous-partition (enhanced-locality) and non-contiguous
+//! layouts.
+//!
+//! **Ocean-cont**: the grid is partitioned into contiguous row bands; a
+//! red/black relaxation sweep updates the own band with unit stride and
+//! reads the boundary rows of the two neighbouring processors each
+//! half-step. Communication is strictly nearest-neighbour — under the
+//! paper's sequential process placement, half (2-way) to three quarters
+//! (4-way) of it lands inside the cluster.
+//!
+//! **Ocean-non**: the non-contiguous layout interleaves grid rows across
+//! processors (processor `p` owns rows `p, p+P, p+2P, …`), so *every*
+//! stencil update touches lines owned by the adjacent processors. That
+//! both raises bandwidth demand and makes the communication volume much
+//! larger — and almost entirely neighbour-local, which is why Ocean-non
+//! shows the second-largest clustering gain in Figure 2.
+
+use crate::region::{Layout, Region};
+use crate::stream::{OpBuf, PhaseGen, Scale};
+use crate::workload::Workload;
+
+const SALT_CONT: u64 = 0x0CEC;
+const SALT_NON: u64 = 0x0CEA;
+const BASE_ITERS: u32 = 14;
+/// Lines per logical grid row.
+const ROW_LINES: u64 = 64;
+/// Chunk granularity of the non-contiguous layout's interleaving.
+const CHUNK_LINES: u64 = 4;
+
+struct OceanCont {
+    me: usize,
+    nprocs: usize,
+    iters: u32,
+    own_band: Region,
+    bands: Vec<Region>,
+}
+
+impl PhaseGen for OceanCont {
+    fn n_iters(&self) -> u32 {
+        self.iters
+    }
+
+    fn gen_iter(&mut self, iter: u32, buf: &mut OpBuf) {
+        for color in 0..2u64 {
+            // Relaxation over the own contiguous band (unit stride). A
+            // five-point stencil reads the in-line neighbours (FLC hits),
+            // the rows above/below inside the band, and writes back.
+            let band = self.own_band.lines();
+            let start = (iter as u64 + color) % 2;
+            let mut i = start;
+            while i < band {
+                let a = self.own_band.line(i);
+                buf.read(a);
+                buf.read(self.own_band.line((i + ROW_LINES) % band));
+                buf.read(self.own_band.line((i + band - ROW_LINES % band) % band));
+                buf.read(a);
+                buf.write(a);
+                i += 2;
+            }
+            // Boundary exchange with the 2-D decomposition's four
+            // neighbours: ±1 (adjacent bands — usually in the cluster
+            // under sequential placement) and ±4 (the other grid
+            // dimension — usually in a different cluster). The ±4
+            // exchange reads a me-specific column strip of the partner's
+            // band, so cluster-mates do not share those lines.
+            let deltas: [isize; 4] = [-1, 1, -4, 4];
+            for d in deltas {
+                let n = self.me as isize + d;
+                if n < 0 || n >= self.nprocs as isize {
+                    continue;
+                }
+                let band = self.bands[n as usize];
+                let row0 = match d {
+                    -1 => band.lines().saturating_sub(ROW_LINES), // its last row
+                    1 => 0,                                       // its first row
+                    _ => (self.me as u64 * ROW_LINES) % band.lines().max(1),
+                };
+                for r in 0..ROW_LINES.min(band.lines()) {
+                    buf.read(band.line(row0 + r));
+                }
+            }
+            buf.barrier();
+        }
+    }
+}
+
+struct OceanNon {
+    me: usize,
+    nprocs: usize,
+    iters: u32,
+    grid: Region,
+}
+
+impl PhaseGen for OceanNon {
+    fn n_iters(&self) -> u32 {
+        self.iters
+    }
+
+    fn gen_iter(&mut self, iter: u32, buf: &mut OpBuf) {
+        // Non-contiguous layout: the grid is split into chunks of
+        // CHUNK_LINES; processor p owns chunks p, p+P, p+2P, … A stencil
+        // sweep is mostly chunk-internal, but the first and last line of
+        // each chunk read into the chunks of processors p−1 and p+1 —
+        // entirely neighbour communication, and much more of it than the
+        // contiguous layout has.
+        let p = self.nprocs as u64;
+        let total_chunks = self.grid.lines() / CHUNK_LINES;
+        for color in 0..2u64 {
+            let mut chunk = self.me as u64 + ((iter as u64 + color) % 2) * p;
+            while chunk < total_chunks {
+                let base = chunk * CHUNK_LINES;
+                for i in 0..CHUNK_LINES {
+                    let line = base + i;
+                    let a = self.grid.line(line);
+                    buf.read(a);
+                    if i == 0 && line > 0 {
+                        buf.read(self.grid.line(line - 1)); // proc me−1
+                    } else if i == CHUNK_LINES - 1 && line + 1 < self.grid.lines() {
+                        buf.read(self.grid.line(line + 1)); // proc me+1
+                    } else {
+                        buf.read(a);
+                    }
+                    buf.update(a);
+                }
+                chunk += 2 * p;
+            }
+            buf.barrier();
+        }
+    }
+}
+
+/// Build the contiguous-partition Ocean workload.
+pub fn build_cont(nprocs: usize, seed: u64, scale: Scale, ws_bytes: u64) -> Workload {
+    let mut layout = Layout::new();
+    let grid = layout.alloc_bytes(ws_bytes);
+    let bands = grid.partition(nprocs);
+    let streams = super::build_streams(nprocs, seed, SALT_CONT, (24, 60), |me| OceanCont {
+        me,
+        nprocs,
+        iters: scale.iters(BASE_ITERS),
+        own_band: bands[me],
+        bands: bands.clone(),
+    });
+    Workload {
+        name: "Ocean cont",
+        ws_bytes: layout.total_bytes(),
+        n_locks: 0,
+        streams,
+    }
+}
+
+/// Build the non-contiguous Ocean workload.
+pub fn build_non(nprocs: usize, seed: u64, scale: Scale, ws_bytes: u64) -> Workload {
+    let mut layout = Layout::new();
+    let grid = layout.alloc_bytes(ws_bytes);
+    let streams = super::build_streams(nprocs, seed, SALT_NON, (8, 24), |me| OceanNon {
+        me,
+        nprocs,
+        iters: scale.iters(BASE_ITERS),
+        grid,
+    });
+    Workload {
+        name: "Ocean non",
+        ws_bytes: layout.total_bytes(),
+        n_locks: 0,
+        streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, OpStream};
+    use std::collections::HashSet;
+
+    fn reads_of(s: &mut Box<dyn OpStream>) -> HashSet<u64> {
+        let mut r = HashSet::new();
+        while let Some(op) = s.next_op() {
+            if let Op::Read(a) = op {
+                r.insert(a.line().0);
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn cont_reads_only_neighbour_bands() {
+        let ws = 1024 * 1024u64;
+        let mut wl = build_cont(8, 1, Scale::SMOKE, ws);
+        let band_lines = (ws / 64) / 8;
+        // Processor 3's reads fall in its own band (3), the adjacent
+        // bands (2, 4) and the other-dimension neighbour band (7).
+        let reads = reads_of(&mut wl.streams[3]);
+        let mut seen = std::collections::HashSet::new();
+        for l in reads {
+            let band = l / band_lines;
+            assert!(
+                [2, 3, 4, 7].contains(&band),
+                "read in band {band}"
+            );
+            seen.insert(band);
+        }
+        assert!(seen.contains(&7), "missing other-dimension neighbour");
+    }
+
+    #[test]
+    fn non_reads_come_from_adjacent_owners() {
+        let mut wl = build_non(8, 1, Scale::SMOKE, 512 * 1024);
+        let reads = reads_of(&mut wl.streams[3]);
+        assert!(!reads.is_empty());
+        // Chunk ownership: owner of line l is (l / CHUNK_LINES) mod 8.
+        // Processor 3 reads its own chunks plus boundary lines of the
+        // chunks owned by processors 2 and 4.
+        for l in &reads {
+            let owner = (l / CHUNK_LINES) % 8;
+            assert!(
+                (2..=4).contains(&owner),
+                "read of line owned by {owner}"
+            );
+        }
+        assert!(reads.iter().any(|l| (l / CHUNK_LINES) % 8 == 2));
+        assert!(reads.iter().any(|l| (l / CHUNK_LINES) % 8 == 4));
+    }
+
+    #[test]
+    fn non_has_more_communication_than_cont() {
+        fn comm(wl: &mut Workload, me: usize, own: impl Fn(u64) -> bool) -> u64 {
+            let mut c = 0u64;
+            while let Some(op) = wl.streams[me].next_op() {
+                if let Op::Read(a) = op {
+                    if !own(a.line().0) {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        }
+        let ws = 512 * 1024u64;
+        let band = (ws / 64) / 8;
+        let mut c = build_cont(8, 1, Scale::SMOKE, ws);
+        let cont_comm = comm(&mut c, 3, move |l| l / band == 3);
+        let mut n = build_non(8, 1, Scale::SMOKE, ws);
+        let non_comm = comm(&mut n, 3, |l| (l / CHUNK_LINES) % 8 == 3);
+        assert!(
+            non_comm > cont_comm,
+            "non {non_comm} should exceed cont {cont_comm}"
+        );
+    }
+
+    #[test]
+    fn edge_processors_have_one_neighbour() {
+        let mut wl = build_cont(4, 1, Scale::SMOKE, 256 * 1024);
+        // Should not panic at the grid edges.
+        let r0 = reads_of(&mut wl.streams[0]);
+        let r3 = reads_of(&mut wl.streams[3]);
+        assert!(!r0.is_empty() && !r3.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Radix analogue — SPLASH-2 "integer sorting, 2M keys, radix 1024".
+//!
+//! Structure reproduced: each pass (one digit) has three phases.
+//! A local histogram phase reads the own key partition sequentially; a
+//! short prefix-sum phase reads every processor's histogram; and the
+//! permutation phase reads the own keys and **scatters writes uniformly
+//! across the whole destination array** — the classic all-to-all
+//! write burst that makes Radix the write-traffic outlier of Figure 3
+//! and, together with its near-zero compute per reference, one of the two
+//! applications dominated by intra-node contention under clustering
+//! (Figure 5: 12.7 % slower with 4-way clustering at 50 % MP even with
+//! doubled DRAM bandwidth).
+
+use crate::region::{Layout, Region};
+use crate::stream::{OpBuf, PhaseGen, Scale};
+use crate::workload::Workload;
+
+const SALT: u64 = 0x4AD1;
+const BASE_PASSES: u32 = 6;
+/// Scatter writes per source key line (keys per line).
+const KEYS_PER_LINE: u64 = 8;
+
+struct Radix {
+    me: usize,
+    nprocs: usize,
+    passes: u32,
+    keys_a: Region,
+    keys_b: Region,
+    hist: Region,
+}
+
+impl PhaseGen for Radix {
+    fn n_iters(&self) -> u32 {
+        self.passes
+    }
+
+    fn gen_iter(&mut self, pass: u32, buf: &mut OpBuf) {
+        let (src, dst) = if pass.is_multiple_of(2) {
+            (self.keys_a, self.keys_b)
+        } else {
+            (self.keys_b, self.keys_a)
+        };
+        let own_src = src.partition(self.nprocs)[self.me];
+        let own_hist = self.hist.partition(self.nprocs)[self.me];
+
+        // Phase 1: local histogram — sequential read of own keys (8 keys
+        // per line, each extracted while the line is FLC-resident),
+        // repeated updates of the small private histogram (cache-hot).
+        for i in 0..own_src.lines() {
+            let a = own_src.line(i);
+            buf.read(a);
+            buf.read(a);
+            buf.read(a);
+            if i % 4 == 0 {
+                let h = buf.rng().below(own_hist.lines());
+                buf.update(own_hist.line(h));
+            }
+        }
+        buf.barrier();
+
+        // Phase 2: global prefix sum — read everyone's histogram.
+        for i in 0..self.hist.lines() {
+            buf.read(self.hist.line(i));
+        }
+        for i in 0..own_hist.lines() {
+            buf.update(own_hist.line(i));
+        }
+        buf.barrier();
+
+        // Phase 3: permutation — read own keys, scatter-write the whole
+        // destination array uniformly (all-to-all, no locality).
+        for i in 0..own_src.lines() {
+            buf.read(own_src.line(i));
+            for _ in 0..KEYS_PER_LINE {
+                let t = buf.rng().below(dst.lines());
+                buf.write(dst.line(t));
+            }
+        }
+        buf.barrier();
+    }
+}
+
+/// Build the Radix workload.
+pub fn build(nprocs: usize, seed: u64, scale: Scale, ws_bytes: u64) -> Workload {
+    let mut layout = Layout::new();
+    // Two key arrays dominate the working set; histograms are small
+    // (radix 1024 counters per processor ≈ a few lines each).
+    let hist_lines = (4 * nprocs as u64).max(16);
+    let half = (ws_bytes - hist_lines * 64) / 2;
+    let keys_a = layout.alloc_bytes(half);
+    let keys_b = layout.alloc_bytes(half);
+    let hist = layout.alloc_lines(hist_lines);
+    let streams = super::build_streams(nprocs, seed, SALT, (0, 1), |me| Radix {
+        me,
+        nprocs,
+        passes: scale.iters(BASE_PASSES),
+        keys_a,
+        keys_b,
+        hist,
+    });
+    Workload {
+        name: "Radix",
+        ws_bytes: layout.total_bytes(),
+        n_locks: 0,
+        streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, OpStream};
+
+    #[test]
+    fn writes_scatter_across_whole_destination() {
+        let mut wl = build(4, 9, Scale::SMOKE, 512 * 1024);
+        let mut write_lines = std::collections::HashSet::new();
+        while let Some(op) = wl.streams[0].next_op() {
+            if let Op::Write(a) = op {
+                write_lines.insert(a.line().0);
+            }
+        }
+        // A single processor's scatter writes should cover far more lines
+        // than its own quarter of one key array.
+        let quarter = (512 * 1024 / 64) / 2 / 4;
+        assert!(
+            write_lines.len() as u64 > quarter,
+            "scatter covered only {} lines",
+            write_lines.len()
+        );
+    }
+
+    #[test]
+    fn write_heavy_mix() {
+        let mut wl = build(4, 9, Scale::SMOKE, 512 * 1024);
+        let (mut r, mut w) = (0u64, 0u64);
+        while let Some(op) = wl.streams[1].next_op() {
+            match op {
+                Op::Read(_) => r += 1,
+                Op::Write(_) => w += 1,
+                _ => {}
+            }
+        }
+        assert!(w * 2 > r, "radix should be write-heavy: r={r} w={w}");
+    }
+
+    #[test]
+    fn low_compute_density() {
+        let mut wl = build(4, 9, Scale::SMOKE, 512 * 1024);
+        let (mut refs, mut instr) = (0u64, 0u64);
+        while let Some(op) = wl.streams[2].next_op() {
+            match op {
+                Op::Read(_) | Op::Write(_) => refs += 1,
+                Op::Compute(n) => instr += n as u64,
+                _ => {}
+            }
+        }
+        assert!(instr < refs, "radix must be bandwidth-bound");
+    }
+
+    #[test]
+    fn barrier_sequences_align() {
+        let mut wl = build(3, 9, Scale::SMOKE, 512 * 1024);
+        let seq = |s: &mut Box<dyn OpStream>| {
+            let mut v = Vec::new();
+            while let Some(op) = s.next_op() {
+                if let Op::Barrier(b) = op {
+                    v.push(b);
+                }
+            }
+            v
+        };
+        let a = seq(&mut wl.streams[0]);
+        let b = seq(&mut wl.streams[1]);
+        let c = seq(&mut wl.streams[2]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,244 @@
+//! Water analogues — SPLASH-2 "molecular dynamics, 512 molecules" in the
+//! O(n²) (`Water-n2`) and spatial (`Water-sp`) variants.
+//!
+//! Both have tiny working sets (Table 1: 1.0 / 1.7 MB before scaling) and
+//! are compute-bound — large instruction gaps between references mean
+//! they spend almost all their time inside the node, exactly as the paper
+//! observes in Figure 5 ("for Water not much can be done").
+//!
+//! **Water-n2** computes pairwise forces: each owned molecule reads a
+//! sample of *all* other molecules (all-to-all reads) plus lock-guarded
+//! global accumulators (migratory data).
+//!
+//! **Water-sp** uses spatial cells: each owned cell reads only its
+//! neighbour cells, and the 3-D neighbourhood maps mostly to distant
+//! processors under linear assignment — which is why Water-sp shows the
+//! *smallest* clustering gain of the whole suite in Figure 2.
+
+use crate::region::{Layout, Region};
+use crate::stream::{OpBuf, PhaseGen, Scale};
+use crate::workload::Workload;
+
+const SALT_N2: u64 = 0x3A72;
+const SALT_SP: u64 = 0x3A75;
+const BASE_ITERS_N2: u32 = 10;
+const BASE_ITERS_SP: u32 = 24;
+const N_LOCKS: u32 = 4;
+
+struct WaterN2 {
+    me: usize,
+    iters: u32,
+    mols: Region,
+    own_mols: Region,
+    accum: Region,
+}
+
+impl PhaseGen for WaterN2 {
+    fn n_iters(&self) -> u32 {
+        self.iters
+    }
+
+    fn gen_iter(&mut self, iter: u32, buf: &mut OpBuf) {
+        // Pairwise force phase: for every owned molecule, interact with a
+        // sliding window of partner molecules (the O(n²) loop visits
+        // partners in order, so partner data is re-read while
+        // cache-resident, and each interaction carries a lot of floating
+        // point work — Water is compute-bound).
+        let first_mol = (self.own_mols.base() - self.mols.base()) / 64;
+        for m in 0..self.own_mols.lines() {
+            // Window position depends on the *global* molecule index, so
+            // different processors sweep different (me-specific) partner
+            // windows, as the triangular O(n²) loop does.
+            let start = ((first_mol + m) * 31 + iter as u64 * 7) % self.mols.lines();
+            for k in 0..12 {
+                let a = self.mols.line(start + k);
+                buf.read(a);
+                buf.compute(2400);
+                buf.read(a);
+                buf.read(a);
+            }
+            let own = self.own_mols.line(m);
+            buf.read(own);
+            buf.update(own);
+        }
+        // Global potential-energy accumulators: migratory, lock-guarded.
+        for k in 0..4u32 {
+            let lock = (self.me as u32 + k) % N_LOCKS;
+            buf.lock(lock);
+            buf.update(self.accum.line(lock as u64 % self.accum.lines()));
+            buf.unlock(lock);
+        }
+        buf.barrier();
+
+        // Integration phase: update own molecules only (with the
+        // velocity/position arithmetic between touches).
+        for m in 0..self.own_mols.lines() {
+            buf.compute(400);
+            buf.update(self.own_mols.line(m));
+        }
+        buf.barrier();
+    }
+}
+
+struct WaterSp {
+    me: usize,
+    nprocs: usize,
+    iters: u32,
+    cell_parts: Vec<Region>,
+}
+
+impl PhaseGen for WaterSp {
+    fn n_iters(&self) -> u32 {
+        self.iters
+    }
+
+    fn gen_iter(&mut self, _iter: u32, buf: &mut OpBuf) {
+        let own = self.cell_parts[self.me];
+        // 3-D cell neighbourhood under linear placement: offsets ±1 (same
+        // row), ±4 (adjacent row), ±8 (adjacent plane, for 16 procs a
+        // half-machine hop) — mostly *not* cluster-local.
+        let p = self.nprocs;
+        let neighbours = [
+            (self.me + 1) % p,
+            (self.me + p - 1) % p,
+            (self.me + 4 % p) % p,
+            (self.me + p - 4 % p) % p,
+            (self.me + 8 % p) % p,
+            (self.me + p - 8 % p) % p,
+        ];
+        for c in 0..own.lines() {
+            // Heavy in-cell pairwise work (FLC-resident), then one read
+            // into a neighbour cell every other line.
+            let a = own.line(c);
+            buf.read(a);
+            buf.compute(2400);
+            buf.read(a);
+            buf.read(a);
+            buf.update(a);
+            if c % 4 == 0 {
+                let n = neighbours[(c as usize / 4) % neighbours.len()];
+                let r = self.cell_parts[n];
+                buf.read(r.line(c % r.lines()));
+            }
+        }
+        buf.barrier();
+        // Integration: own cells only, with per-cell arithmetic.
+        for c in 0..own.lines() {
+            buf.compute(400);
+            buf.update(own.line(c));
+        }
+        buf.barrier();
+    }
+}
+
+/// Build the O(n²) Water workload.
+pub fn build_n2(nprocs: usize, seed: u64, scale: Scale, ws_bytes: u64) -> Workload {
+    let mut layout = Layout::new();
+    let accum = layout.alloc_lines(4);
+    let mols = layout.alloc_bytes(ws_bytes - 4 * 64);
+    let parts = mols.partition(nprocs);
+    let streams = super::build_streams(nprocs, seed, SALT_N2, (8, 16), |me| WaterN2 {
+        me,
+        iters: scale.iters(BASE_ITERS_N2),
+        mols,
+        own_mols: parts[me],
+        accum,
+    });
+    Workload {
+        name: "Water n2",
+        ws_bytes: layout.total_bytes(),
+        n_locks: N_LOCKS,
+        streams,
+    }
+}
+
+/// Build the spatial Water workload.
+pub fn build_sp(nprocs: usize, seed: u64, scale: Scale, ws_bytes: u64) -> Workload {
+    let mut layout = Layout::new();
+    let cells = layout.alloc_bytes(ws_bytes);
+    let cell_parts = cells.partition(nprocs);
+    let streams = super::build_streams(nprocs, seed, SALT_SP, (8, 16), |me| WaterSp {
+        me,
+        nprocs,
+        iters: scale.iters(BASE_ITERS_SP),
+        cell_parts: cell_parts.clone(),
+    });
+    Workload {
+        name: "Water sp",
+        ws_bytes: layout.total_bytes(),
+        n_locks: 0,
+        streams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Op, OpStream};
+
+    #[test]
+    fn n2_is_compute_bound() {
+        let mut wl = build_n2(4, 31, Scale::SMOKE, 64 * 1024);
+        let (mut refs, mut instr) = (0u64, 0u64);
+        while let Some(op) = wl.streams[0].next_op() {
+            match op {
+                Op::Read(_) | Op::Write(_) => refs += 1,
+                Op::Compute(n) => instr += n as u64,
+                _ => {}
+            }
+        }
+        assert!(
+            instr > refs * 6,
+            "water must be compute-bound: {instr} instr / {refs} refs"
+        );
+    }
+
+    #[test]
+    fn n2_reads_all_partitions() {
+        let mut wl = build_n2(4, 31, Scale::SMOKE, 64 * 1024);
+        let total_lines = wl.ws_bytes / 64;
+        let mut quarters = [false; 4];
+        while let Some(op) = wl.streams[0].next_op() {
+            if let Op::Read(a) = op {
+                quarters[((a.line().0 * 4) / total_lines).min(3) as usize] = true;
+            }
+        }
+        assert!(quarters.iter().all(|&q| q), "not all-to-all: {quarters:?}");
+    }
+
+    #[test]
+    fn sp_reads_only_fixed_neighbours() {
+        let nprocs = 16;
+        let ws = 128 * 1024u64;
+        let mut layout = Layout::new();
+        let cells = layout.alloc_bytes(ws);
+        let parts = cells.partition(nprocs);
+        let mut wl = build_sp(nprocs, 31, Scale::SMOKE, ws);
+        let me = 5usize;
+        let allowed: Vec<usize> = vec![5, 6, 4, 9, 1, 13];
+        while let Some(op) = wl.streams[me].next_op() {
+            if let Op::Read(a) = op {
+                let owner = parts.iter().position(|r| r.contains(a)).unwrap();
+                assert!(allowed.contains(&owner), "read from proc {owner}");
+            }
+        }
+    }
+
+    #[test]
+    fn sp_has_no_locks() {
+        let mut wl = build_sp(4, 31, Scale::SMOKE, 64 * 1024);
+        while let Some(op) = wl.streams[0].next_op() {
+            assert!(!matches!(op, Op::Lock(_) | Op::Unlock(_)));
+        }
+    }
+
+    #[test]
+    fn n2_lock_ids_within_bounds() {
+        let mut wl = build_n2(4, 31, Scale::SMOKE, 64 * 1024);
+        while let Some(op) = wl.streams[3].next_op() {
+            if let Op::Lock(l) = op {
+                assert!(l < wl.n_locks);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Operations emitted by workload generators and consumed by the
+//! simulator's processor model.
+
+use coma_types::Addr;
+
+/// One simulated-processor operation.
+///
+/// Synchronization operations reference small integer ids; the simulator
+/// maps them to cache lines in the workload's sync region so that locks
+/// and barriers generate real coherence traffic (paper §3: "all ordinary
+/// data accesses as well as synchronization accesses have been modeled").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Execute `n` instructions that touch no memory beyond the FLC.
+    Compute(u32),
+    /// Load from an address (stalls the processor on miss).
+    Read(Addr),
+    /// Store to an address (retires into the write buffer).
+    Write(Addr),
+    /// Acquire a lock (read-modify-write on the lock's line; spins).
+    Lock(u32),
+    /// Release a lock (drains the write buffer first — release consistency).
+    Unlock(u32),
+    /// Global barrier: all processors must reach barrier `id` before any
+    /// proceeds. Generators must emit identical barrier id sequences on
+    /// every processor.
+    Barrier(u32),
+}
+
+/// A lazy, per-processor operation stream.
+pub trait OpStream {
+    /// Next operation, or `None` when the processor's work is finished.
+    fn next_op(&mut self) -> Option<Op>;
+}
+
+/// Blanket impl so `Box<dyn OpStream>` is itself a stream.
+impl OpStream for Box<dyn OpStream> {
+    fn next_op(&mut self) -> Option<Op> {
+        (**self).next_op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two(u8);
+    impl OpStream for Two {
+        fn next_op(&mut self) -> Option<Op> {
+            if self.0 == 0 {
+                None
+            } else {
+                self.0 -= 1;
+                Some(Op::Compute(1))
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_stream_delegates() {
+        let mut b: Box<dyn OpStream> = Box::new(Two(2));
+        assert_eq!(b.next_op(), Some(Op::Compute(1)));
+        assert_eq!(b.next_op(), Some(Op::Compute(1)));
+        assert_eq!(b.next_op(), None);
+    }
+}

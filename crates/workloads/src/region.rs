@@ -1,0 +1,182 @@
+//! Address-space regions.
+//!
+//! Each application's working set is laid out as a sequence of
+//! line-aligned regions (particle arrays, grids, matrices, scene data,
+//! task queues, …). Regions can be partitioned among processors, which is
+//! how the models express ownership and neighbour communication.
+
+use coma_types::{Addr, LINE_BYTES};
+
+/// A contiguous, line-aligned span of the simulated address space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Region {
+    base: u64,
+    lines: u64,
+}
+
+impl Region {
+    /// Create a region of `lines` cache lines starting at line-aligned
+    /// byte offset `base`.
+    pub fn new(base: u64, lines: u64) -> Self {
+        assert!(base.is_multiple_of(LINE_BYTES), "region base must be line-aligned");
+        assert!(lines > 0, "empty region");
+        Region { base, lines }
+    }
+
+    #[inline]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.lines * LINE_BYTES
+    }
+
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// End byte offset (exclusive).
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes()
+    }
+
+    /// Address of the first byte of the `i`-th line (wrapping modulo the
+    /// region length, so walkers can stride freely).
+    #[inline]
+    pub fn line(&self, i: u64) -> Addr {
+        Addr(self.base + (i % self.lines) * LINE_BYTES)
+    }
+
+    /// Split into `n` near-equal contiguous chunks; chunk `i` belongs to
+    /// processor `i`. Every chunk is non-empty provided `lines ≥ n`.
+    pub fn partition(&self, n: usize) -> Vec<Region> {
+        assert!(n > 0);
+        let n64 = n as u64;
+        let per = self.lines / n64;
+        let extra = self.lines % n64;
+        let mut out = Vec::with_capacity(n);
+        let mut base = self.base;
+        for i in 0..n64 {
+            let len = per + u64::from(i < extra);
+            assert!(len > 0, "partition of {} lines into {} chunks", self.lines, n);
+            out.push(Region::new(base, len));
+            base += len * LINE_BYTES;
+        }
+        out
+    }
+
+    /// Sub-region of `len` lines starting at line `off` (must fit).
+    pub fn slice(&self, off: u64, len: u64) -> Region {
+        assert!(off + len <= self.lines);
+        Region::new(self.base + off * LINE_BYTES, len)
+    }
+
+    /// Does the region contain this address?
+    pub fn contains(&self, a: Addr) -> bool {
+        a.0 >= self.base && a.0 < self.end()
+    }
+}
+
+/// Builds a working-set layout by allocating regions consecutively,
+/// mirroring the paper's consecutive on-demand page allocation.
+#[derive(Debug, Default)]
+pub struct Layout {
+    cursor: u64,
+}
+
+impl Layout {
+    pub fn new() -> Self {
+        Layout { cursor: 0 }
+    }
+
+    /// Allocate a region with (at least) the given byte size, rounded up
+    /// to whole lines.
+    pub fn alloc_bytes(&mut self, bytes: u64) -> Region {
+        let lines = bytes.div_ceil(LINE_BYTES).max(1);
+        self.alloc_lines(lines)
+    }
+
+    /// Allocate a region of exactly `lines` cache lines.
+    pub fn alloc_lines(&mut self, lines: u64) -> Region {
+        let r = Region::new(self.cursor, lines);
+        self.cursor = r.end();
+        r
+    }
+
+    /// Total bytes allocated so far — the working-set size.
+    pub fn total_bytes(&self) -> u64 {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addresses_wrap() {
+        let r = Region::new(0, 4);
+        assert_eq!(r.line(0), Addr(0));
+        assert_eq!(r.line(3), Addr(192));
+        assert_eq!(r.line(4), Addr(0));
+    }
+
+    #[test]
+    fn partition_covers_exactly() {
+        let r = Region::new(0, 103);
+        let parts = r.partition(16);
+        assert_eq!(parts.len(), 16);
+        let total: u64 = parts.iter().map(|p| p.lines()).sum();
+        assert_eq!(total, 103);
+        // Contiguous and non-overlapping.
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end(), w[1].base());
+        }
+    }
+
+    #[test]
+    fn partition_sizes_differ_by_at_most_one() {
+        let parts = Region::new(0, 103).partition(16);
+        let min = parts.iter().map(|p| p.lines()).min().unwrap();
+        let max = parts.iter().map(|p| p.lines()).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn layout_is_consecutive() {
+        let mut l = Layout::new();
+        let a = l.alloc_bytes(100); // rounds to 2 lines
+        let b = l.alloc_bytes(64);
+        assert_eq!(a.lines(), 2);
+        assert_eq!(b.base(), 128);
+        assert_eq!(l.total_bytes(), 192);
+    }
+
+    #[test]
+    fn slice_within_region() {
+        let r = Region::new(128, 10);
+        let s = r.slice(2, 3);
+        assert_eq!(s.base(), 128 + 2 * 64);
+        assert_eq!(s.lines(), 3);
+        assert!(r.contains(s.line(0)));
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let r = Region::new(64, 2);
+        assert!(!r.contains(Addr(63)));
+        assert!(r.contains(Addr(64)));
+        assert!(r.contains(Addr(191)));
+        assert!(!r.contains(Addr(192)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_base_rejected() {
+        Region::new(10, 1);
+    }
+}

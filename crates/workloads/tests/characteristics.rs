@@ -1,0 +1,140 @@
+//! Calibration-class regression tests: each application model must keep
+//! the behavioural signature that places it where the paper's figures
+//! place it (DESIGN.md §7.5). These tests guard the workload calibration
+//! against accidental drift.
+
+use coma_workloads::{AppId, Op, OpStream, Scale};
+use std::collections::{HashMap, HashSet};
+
+/// Per-stream summary statistics.
+struct Profile {
+    refs: u64,
+    instr: u64,
+    /// Lines read by every one of the sampled processors.
+    machine_shared_reads: usize,
+    /// Total distinct lines read across processors.
+    distinct_reads: usize,
+}
+
+fn profile(app: AppId, nprocs: usize) -> Profile {
+    let mut wl = app.build(nprocs, 42, Scale::SMOKE);
+    let mut refs = 0u64;
+    let mut instr = 0u64;
+    let mut read_sets: Vec<HashSet<u64>> = Vec::new();
+    for s in &mut wl.streams {
+        let mut reads = HashSet::new();
+        while let Some(op) = s.next_op() {
+            match op {
+                Op::Read(a) => {
+                    refs += 1;
+                    reads.insert(a.line().0);
+                }
+                Op::Write(_) => refs += 1,
+                Op::Compute(n) => instr += n as u64,
+                _ => {}
+            }
+        }
+        read_sets.push(reads);
+    }
+    let mut count: HashMap<u64, usize> = HashMap::new();
+    for set in &read_sets {
+        for &l in set {
+            *count.entry(l).or_default() += 1;
+        }
+    }
+    Profile {
+        refs,
+        instr,
+        machine_shared_reads: count.values().filter(|&&c| c == nprocs).count(),
+        distinct_reads: count.len(),
+    }
+}
+
+fn density(app: AppId) -> f64 {
+    let p = profile(app, 4);
+    p.refs as f64 / p.instr.max(1) as f64
+}
+
+/// The paper's two contention-dominated applications must have by far
+/// the highest memory-reference density of the suite.
+#[test]
+fn contention_apps_have_highest_bandwidth_demand() {
+    let lu_non = density(AppId::LuNon);
+    let radix = density(AppId::Radix);
+    for app in AppId::ALL {
+        if matches!(app, AppId::LuNon | AppId::Radix | AppId::OceanNon) {
+            continue;
+        }
+        let d = density(app);
+        assert!(
+            lu_non > 2.0 * d && radix > 2.0 * d,
+            "{app} density {d:.3} rivals the contention apps ({lu_non:.3}/{radix:.3})"
+        );
+    }
+}
+
+/// Water must be the most compute-bound pair of the suite.
+#[test]
+fn water_is_most_compute_bound() {
+    let wn2 = density(AppId::WaterN2);
+    let wsp = density(AppId::WaterSp);
+    for app in AppId::ALL {
+        if matches!(app, AppId::WaterN2 | AppId::WaterSp) {
+            continue;
+        }
+        let d = density(app);
+        assert!(
+            wn2 < d && wsp < d,
+            "{app} density {d:.4} below water ({wn2:.4}/{wsp:.4})"
+        );
+    }
+}
+
+/// The Figure-4 (conflict-miss) applications need machine-wide
+/// read-shared data — substantially more of it than the Figure-3
+/// applications with partitioned/neighbour communication.
+#[test]
+fn fig4_group_has_wider_read_sharing() {
+    let frac = |app: AppId| {
+        let p = profile(app, 8);
+        p.machine_shared_reads as f64 / p.distinct_reads.max(1) as f64
+    };
+    // Wide-replication representatives vs partitioned representatives.
+    for wide in [AppId::Raytrace, AppId::Volrend, AppId::Barnes] {
+        for narrow in [AppId::OceanCont, AppId::LuNon, AppId::WaterSp] {
+            let w = frac(wide);
+            let n = frac(narrow);
+            assert!(
+                w > n,
+                "{wide} shared-read fraction {w:.3} not above {narrow} {n:.3}"
+            );
+        }
+    }
+}
+
+/// Every application must produce a non-trivial trace at every scale
+/// (guards against iteration-count regressions that would make a figure
+/// meaningless).
+#[test]
+fn traces_are_long_enough_for_steady_state() {
+    for app in AppId::ALL {
+        let p = profile(app, 16);
+        assert!(
+            p.refs > 16 * 1_000,
+            "{app}: only {} refs across 16 procs at SMOKE scale",
+            p.refs
+        );
+        assert!(p.distinct_reads > 100, "{app}: touches too few lines");
+    }
+}
+
+/// Working-set ordering must follow Table 1 (FFT largest, Water-n2
+/// smallest).
+#[test]
+fn working_set_ordering_matches_table1() {
+    let ws: Vec<(AppId, u64)> = AppId::ALL.into_iter().map(|a| (a, a.ws_bytes())).collect();
+    let max = ws.iter().max_by_key(|(_, b)| *b).unwrap().0;
+    let min = ws.iter().min_by_key(|(_, b)| *b).unwrap().0;
+    assert_eq!(max, AppId::Fft);
+    assert_eq!(min, AppId::WaterN2);
+}

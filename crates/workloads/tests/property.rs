@@ -1,0 +1,108 @@
+//! Property-based tests over the whole workload catalog: the structural
+//! guarantees the simulator depends on must hold for *every* application
+//! at *any* seed, scale and processor count.
+
+use coma_workloads::{AppId, Op, OpStream, Scale};
+use proptest::prelude::*;
+
+fn any_app() -> impl Strategy<Value = AppId> {
+    prop::sample::select(AppId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Addresses stay inside the declared working set, lock ids inside
+    /// the declared lock count, and lock/unlock pairs balance without
+    /// nesting — for every app, any seed.
+    #[test]
+    fn streams_are_well_formed(
+        app in any_app(),
+        seed in any::<u64>(),
+        nprocs in prop::sample::select(vec![2usize, 4, 8, 16]),
+    ) {
+        let mut wl = app.build(nprocs, seed, Scale::SMOKE);
+        for (p, s) in wl.streams.iter_mut().enumerate() {
+            let mut depth = 0i32;
+            let mut held: Option<u32> = None;
+            while let Some(op) = s.next_op() {
+                match op {
+                    Op::Read(a) | Op::Write(a) => {
+                        prop_assert!(a.0 < wl.ws_bytes, "{app} P{p}: {a} outside ws");
+                    }
+                    Op::Lock(l) => {
+                        prop_assert!(l < wl.n_locks);
+                        prop_assert_eq!(depth, 0, "{} P{}: nested lock", app, p);
+                        depth += 1;
+                        held = Some(l);
+                    }
+                    Op::Unlock(l) => {
+                        prop_assert_eq!(depth, 1, "{} P{}: unlock without lock", app, p);
+                        prop_assert_eq!(Some(l), held, "{} P{}: unlock of other lock", app, p);
+                        depth -= 1;
+                        held = None;
+                    }
+                    Op::Compute(_) | Op::Barrier(_) => {}
+                }
+            }
+            prop_assert_eq!(depth, 0, "{} P{}: lock held at end", app, p);
+        }
+    }
+
+    /// Barrier sequences are identical on every processor (the property
+    /// the global barrier implementation relies on).
+    #[test]
+    fn barrier_sequences_align(
+        app in any_app(),
+        seed in any::<u64>(),
+    ) {
+        let mut wl = app.build(4, seed, Scale::SMOKE);
+        let seqs: Vec<Vec<u32>> = wl
+            .streams
+            .iter_mut()
+            .map(|s| {
+                let mut v = Vec::new();
+                while let Some(op) = s.next_op() {
+                    if let Op::Barrier(b) = op {
+                        v.push(b);
+                    }
+                }
+                v
+            })
+            .collect();
+        for s in &seqs[1..] {
+            prop_assert_eq!(s, &seqs[0], "{}: diverging barriers", app);
+        }
+        // Sequential numbering from zero.
+        for (i, b) in seqs[0].iter().enumerate() {
+            prop_assert_eq!(*b as usize, i);
+        }
+    }
+
+    /// Determinism: the same (app, seed, scale) yields bit-identical
+    /// streams.
+    #[test]
+    fn streams_are_deterministic(app in any_app(), seed in any::<u64>()) {
+        let collect = || {
+            let mut wl = app.build(2, seed, Scale::SMOKE);
+            let mut v = Vec::new();
+            for _ in 0..2000 {
+                match wl.streams[1].next_op() {
+                    Some(op) => v.push(op),
+                    None => break,
+                }
+            }
+            v
+        };
+        prop_assert_eq!(collect(), collect());
+    }
+
+    /// Scale only stretches the trace: the working set (and therefore the
+    /// machine geometry) is scale-invariant.
+    #[test]
+    fn scale_never_changes_working_set(app in any_app(), seed in any::<u64>()) {
+        let a = app.build(4, seed, Scale::SMOKE).ws_bytes;
+        let b = app.build(4, seed, Scale::BENCH).ws_bytes;
+        prop_assert_eq!(a, b);
+    }
+}

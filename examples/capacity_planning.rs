@@ -1,0 +1,59 @@
+//! Capacity planning: the paper's motivating trade-off, as a tool.
+//!
+//! A COMA operator chooses a memory pressure (how much attraction memory
+//! to provision beyond the working set) and a clustering degree. This
+//! example sweeps both for one application and prints execution time and
+//! memory overhead, so you can pick the cheapest configuration within a
+//! slowdown budget — the paper's conclusion ("application execution can
+//! remain efficient at higher memory pressure in clustered systems")
+//! falls straight out of the table.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning [app]
+//! ```
+
+use coma::prelude::*;
+use coma::stats::Table;
+
+fn main() {
+    let app: AppId = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("unknown application"))
+        .unwrap_or(AppId::OceanNon);
+
+    println!("Capacity planning for {app} (16 processors, doubled DRAM bandwidth)\n");
+
+    // Baseline: single-processor nodes at the paper's 50% MP.
+    let run = |ppn: usize, mp: MemoryPressure| {
+        let mut params = SimParams::default();
+        params.machine.procs_per_node = ppn;
+        params.machine.memory_pressure = mp;
+        params.latency = LatencyConfig::paper_double_dram();
+        let wl = app.build(16, 42, Scale::BENCH);
+        run_simulation(wl, &params).exec_time_ns
+    };
+    let base = run(1, MemoryPressure::MP_50) as f64;
+
+    let mut t = Table::new(vec![
+        "memory pressure",
+        "memory overhead",
+        "1 proc/node",
+        "2 procs/node",
+        "4 procs/node",
+    ]);
+    for mp in MemoryPressure::PAPER_SWEEP {
+        let overhead = 1.0 / mp.as_f64() - 1.0;
+        let mut cells = vec![
+            mp.to_string(),
+            format!("+{:.0}% DRAM", overhead * 100.0),
+        ];
+        for ppn in [1usize, 2, 4] {
+            let time = run(ppn, mp) as f64;
+            cells.push(format!("{:.0}%", time / base * 100.0));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!("execution time relative to 1 proc/node at 50% MP = 100%");
+    println!("memory overhead = attraction memory provisioned beyond one working-set copy");
+}

@@ -1,0 +1,102 @@
+//! Custom workload: implement your own `OpStream` and run it on the
+//! simulated machine. Here: a classic ping-pong microbenchmark — two
+//! processors alternately write and read one line, guarded by a lock —
+//! showing how clustering internalizes producer-consumer communication.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use coma::prelude::*;
+use coma::workloads::{Op, OpStream};
+use coma::types::Addr;
+
+/// Each round: acquire the lock, update the shared line, release; spin
+/// processors that don't participate just compute.
+struct PingPong {
+    me: usize,
+    rounds: u32,
+    emitted: std::collections::VecDeque<Op>,
+    round: u32,
+}
+
+impl PingPong {
+    fn new(me: usize, rounds: u32) -> Self {
+        PingPong {
+            me,
+            rounds,
+            emitted: Default::default(),
+            round: 0,
+        }
+    }
+}
+
+const SHARED_LINE: Addr = Addr(0);
+
+impl OpStream for PingPong {
+    fn next_op(&mut self) -> Option<Op> {
+        if let Some(op) = self.emitted.pop_front() {
+            return Some(op);
+        }
+        if self.round >= self.rounds {
+            return None;
+        }
+        self.round += 1;
+        if self.me < 2 {
+            // The two ping-pong players.
+            self.emitted.extend([
+                Op::Lock(0),
+                Op::Read(SHARED_LINE),
+                Op::Compute(50),
+                Op::Write(SHARED_LINE),
+                Op::Unlock(0),
+                Op::Compute(100),
+            ]);
+        } else {
+            // Bystanders: private work only.
+            let private = Addr(4096 + (self.me as u64) * 4096);
+            self.emitted.extend([
+                Op::Compute(150),
+                Op::Read(private),
+                Op::Write(private),
+            ]);
+        }
+        self.emitted.pop_front()
+    }
+}
+
+fn build(rounds: u32) -> Workload {
+    Workload {
+        name: "ping-pong",
+        ws_bytes: 17 * 4096,
+        n_locks: 1,
+        streams: (0..16)
+            .map(|me| Box::new(PingPong::new(me, rounds)) as Box<dyn OpStream>)
+            .collect(),
+    }
+}
+
+fn main() {
+    println!("Ping-pong microbenchmark: procs 0 and 1 alternate on one line.\n");
+    println!("{:<14} {:>14} {:>12} {:>10}", "clustering", "exec time (µs)", "bus bytes", "RNMr");
+    for ppn in [1usize, 2, 4] {
+        let mut params = SimParams::default();
+        params.machine.procs_per_node = ppn;
+        params.machine.memory_pressure = MemoryPressure::MP_6;
+        // The tiny working set would make the SLC degenerate; widen it.
+        params.machine.slc_ws_ratio = 16;
+        let report = run_simulation(build(3000), &params);
+        println!(
+            "{:<14} {:>14.1} {:>12} {:>9.2}%",
+            format!("{} per node", ppn),
+            report.exec_time_ns as f64 / 1e3,
+            report.traffic.total_bytes(),
+            report.rnm_rate() * 100.0
+        );
+    }
+    println!(
+        "\nWith 2+ processors per node the ping-pong pair shares an attraction\n\
+         memory, so the line never crosses the global bus — the communication\n\
+         is internalized exactly as the paper describes for coherence misses."
+    );
+}

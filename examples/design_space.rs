@@ -1,0 +1,66 @@
+//! Design-space exploration with the parameterized synthetic workload:
+//! where does *your* application land in the paper's figures?
+//!
+//! This sweeps the replication-demand axis (the fraction of the working
+//! set that is globally read-shared) and shows how it decides whether
+//! clustering keeps helping at very high memory pressure — the boundary
+//! between the paper's Figure 3 and Figure 4 application groups.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use coma::prelude::*;
+use coma::stats::Table;
+use coma::workloads::{build_synth, SynthSpec};
+
+fn main() {
+    println!("Synthetic design-space sweep: replication demand vs clustering payoff");
+    println!("(16 processors, 87.5% memory pressure, 4-way AMs)\n");
+
+    let mut t = Table::new(vec![
+        "shared fraction",
+        "1p traffic (KB)",
+        "4p traffic (KB)",
+        "4p/1p",
+        "verdict",
+    ]);
+    for shared_pct in [0u32, 20, 40, 60, 80] {
+        let run = |ppn: usize| {
+            let spec = SynthSpec {
+                shared_frac: shared_pct as f64 / 100.0,
+                shared_ref_frac: 0.35 + shared_pct as f64 / 200.0,
+                zipf_s: 0.2,
+                iters: 6,
+                ..Default::default()
+            };
+            let wl = build_synth(16, 42, Scale::BENCH, spec);
+            let mut params = SimParams::default();
+            params.machine.procs_per_node = ppn;
+            params.machine.memory_pressure = MemoryPressure::MP_87;
+            run_simulation(wl, &params).traffic.total_bytes()
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        let ratio = t4 as f64 / t1 as f64;
+        t.row(vec![
+            format!("{shared_pct}%"),
+            format!("{}", t1 / 1024),
+            format!("{}", t4 / 1024),
+            format!("{:.2}", ratio),
+            if ratio < 0.6 {
+                "clustering wins big (Fig. 3 territory)".to_string()
+            } else if ratio < 0.95 {
+                "clustering still helps".to_string()
+            } else {
+                "clustering no longer helps (Fig. 4 territory)".to_string()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The more of the working set every node wants to replicate, the less\n\
+         a shared attraction memory can do at very high memory pressure —\n\
+         the axis separating the paper's Figure 3 and Figure 4 groups."
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: simulate one SPLASH-2-analogue application on the paper's
+//! 16-processor bus-based COMA and print the headline statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [app] [procs_per_node]
+//! ```
+
+use coma::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app: AppId = args
+        .next()
+        .map(|s| s.parse().expect("unknown application"))
+        .unwrap_or(AppId::Fft);
+    let ppn: usize = args
+        .next()
+        .map(|s| s.parse().expect("procs_per_node must be 1, 2 or 4"))
+        .unwrap_or(4);
+
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = ppn;
+    params.machine.memory_pressure = MemoryPressure::MP_50;
+
+    println!(
+        "Simulating {app} on 16 processors ({ppn} per node, {} nodes) at {} memory pressure…",
+        16 / ppn,
+        params.machine.memory_pressure
+    );
+    let workload = app.build(16, 42, Scale::BENCH);
+    println!(
+        "working set: {} KB  (SLC {} KB/processor, AM {} KB/node)",
+        workload.ws_bytes / 1024,
+        workload.ws_bytes / 128 / 1024,
+        params.machine.memory_pressure.total_am_bytes(workload.ws_bytes) / 16 * ppn as u64 / 1024,
+    );
+
+    let report = run_simulation(workload, &params);
+
+    println!("\nsimulated execution time : {:>10.3} ms", report.exec_time_ns as f64 / 1e6);
+    println!("reads / writes           : {:>10} / {}", report.counts.total_reads(), report.counts.total_writes());
+    println!("read node miss rate      : {:>9.3} %", report.rnm_rate() * 100.0);
+    println!(
+        "bus traffic              : {:>10} bytes  (read {} / write {} / replace {})",
+        report.traffic.total_bytes(),
+        report.traffic.read_bytes,
+        report.traffic.write_bytes,
+        report.traffic.replace_bytes
+    );
+    println!("bus utilization          : {:>9.1} %", report.bus_utilization() * 100.0);
+    println!(
+        "injections / migrations  : {:>10} / {}",
+        report.injections, report.ownership_migrations
+    );
+
+    let b = report.avg_breakdown();
+    let f = b.fractions();
+    println!(
+        "time breakdown           :   busy {:.1}%  SLC {:.1}%  AM {:.1}%  remote {:.1}%",
+        f[0] * 100.0,
+        f[1] * 100.0,
+        f[2] * 100.0,
+        f[3] * 100.0
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-crate consistency: determinism, accounting identities, and
+//! protocol invariants after complete application runs.
+
+use coma::prelude::*;
+use coma::sim::Simulation;
+
+fn params(ppn: usize, mp: MemoryPressure) -> SimParams {
+    let mut p = SimParams::default();
+    p.machine.procs_per_node = ppn;
+    p.machine.memory_pressure = mp;
+    p
+}
+
+/// Bit-exact determinism of full runs.
+#[test]
+fn full_runs_are_deterministic() {
+    for app in [AppId::Radiosity, AppId::Radix, AppId::Cholesky] {
+        let run = || {
+            let r = run_simulation(app.build(16, 7, Scale::SMOKE), &params(2, MemoryPressure::MP_81));
+            (r.exec_time_ns, r.counts, r.traffic, r.injections)
+        };
+        assert_eq!(run(), run(), "{app} not deterministic");
+    }
+}
+
+/// Different seeds produce different (but valid) executions.
+#[test]
+fn seeds_change_executions() {
+    let r1 = run_simulation(
+        AppId::Raytrace.build(16, 1, Scale::SMOKE),
+        &params(1, MemoryPressure::MP_50),
+    );
+    let r2 = run_simulation(
+        AppId::Raytrace.build(16, 2, Scale::SMOKE),
+        &params(1, MemoryPressure::MP_50),
+    );
+    assert_ne!(r1.exec_time_ns, r2.exec_time_ns);
+}
+
+/// Read accounting: every read lands in exactly one level bucket, and the
+/// RNMr equals remote reads over all reads.
+#[test]
+fn read_accounting_identity() {
+    let r = run_simulation(
+        AppId::Fmm.build(16, 3, Scale::SMOKE),
+        &params(4, MemoryPressure::MP_75),
+    );
+    let total: u64 = r.counts.reads.iter().sum();
+    assert_eq!(total, r.counts.total_reads());
+    let rnm = r.counts.read_node_misses() as f64 / total as f64;
+    assert!((rnm - r.rnm_rate()).abs() < 1e-12);
+}
+
+/// Per-processor accounted time never exceeds the run's wall clock, and
+/// busy time is positive for every processor.
+#[test]
+fn time_accounting_bounds() {
+    let r = run_simulation(
+        AppId::Barnes.build(16, 5, Scale::SMOKE),
+        &params(2, MemoryPressure::MP_50),
+    );
+    assert_eq!(r.per_proc.len(), 16);
+    for (i, b) in r.per_proc.iter().enumerate() {
+        assert!(b.busy_ns > 0, "proc {i} never busy");
+        assert!(
+            b.total_ns() <= r.exec_time_ns,
+            "proc {i} accounted {} > exec {}",
+            b.total_ns(),
+            r.exec_time_ns
+        );
+    }
+}
+
+/// Protocol invariants hold at the end of every application's run, at the
+/// nastiest memory pressure, and the OS capacity guarantee (no page-outs
+/// below 100 % MP) is respected.
+#[test]
+fn protocol_invariants_after_every_app() {
+    for app in AppId::ALL {
+        let sim = Simulation::new(
+            app.build(16, 11, Scale::SMOKE),
+            &params(4, MemoryPressure::MP_87),
+        )
+        .unwrap();
+        let report = sim
+            .run_checked()
+            .unwrap_or_else(|e| panic!("{app}: invariant violated: {e}"));
+        assert_eq!(
+            report.traffic.pageouts, 0,
+            "{app}: pageouts at 87.5% MP — capacity guarantee violated"
+        );
+    }
+}
+
+/// Traffic identities: byte totals decompose exactly into the three
+/// segments, and transaction counts are consistent.
+#[test]
+fn traffic_identities() {
+    let r = run_simulation(
+        AppId::LuCont.build(16, 9, Scale::SMOKE),
+        &params(1, MemoryPressure::MP_87),
+    );
+    let t = &r.traffic;
+    assert_eq!(
+        t.total_bytes(),
+        t.read_bytes + t.write_bytes + t.replace_bytes
+    );
+    assert_eq!(t.total_txns(), t.read_txns + t.write_txns + t.replace_txns);
+    assert!(t.read_txns > 0 && t.replace_txns > 0);
+}
+
+/// The bus is the only path between nodes: with one node (16 procs per
+/// node) there must be no global traffic at all.
+#[test]
+fn single_node_machine_never_uses_bus() {
+    let mut p = params(16, MemoryPressure::MP_50);
+    p.machine.procs_per_node = 16;
+    let r = run_simulation(AppId::Fft.build(16, 4, Scale::SMOKE), &p);
+    assert_eq!(r.traffic.total_txns(), 0);
+    assert_eq!(r.counts.read_node_misses(), 0);
+    assert!(r.exec_time_ns > 0);
+}
+
+/// Workload scaling: longer scales mean strictly more references and
+/// longer executions.
+#[test]
+fn scale_monotonicity() {
+    let refs = |scale| {
+        let r = run_simulation(
+            AppId::WaterSp.build(16, 6, scale),
+            &params(1, MemoryPressure::MP_50),
+        );
+        (r.counts.total_reads(), r.exec_time_ns)
+    };
+    let (small_refs, small_t) = refs(Scale::SMOKE);
+    let (big_refs, big_t) = refs(Scale::BENCH);
+    assert!(big_refs > small_refs);
+    assert!(big_t > small_t);
+}

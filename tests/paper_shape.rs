@@ -1,0 +1,146 @@
+//! Integration tests asserting the paper's qualitative results
+//! ("the shape") at reduced trace scale.
+
+use coma::prelude::*;
+
+fn params(ppn: usize, mp: MemoryPressure) -> SimParams {
+    let mut p = SimParams::default();
+    p.machine.procs_per_node = ppn;
+    p.machine.memory_pressure = mp;
+    p
+}
+
+fn report(app: AppId, ppn: usize, mp: MemoryPressure) -> coma::stats::SimReport {
+    run_simulation(app.build(16, 42, Scale::SMOKE), &params(ppn, mp))
+}
+
+/// Figure 2: clustering reduces the RNMr for *every* application at low
+/// memory pressure, and 4-way clustering beats 2-way.
+#[test]
+fn fig2_clustering_reduces_rnm_for_all_applications() {
+    for app in AppId::ALL {
+        let r1 = report(app, 1, MemoryPressure::MP_6).rnm_rate();
+        let r2 = report(app, 2, MemoryPressure::MP_6).rnm_rate();
+        let r4 = report(app, 4, MemoryPressure::MP_6).rnm_rate();
+        assert!(r2 < r1, "{app}: 2-way rel RNMr {:.1}% ≥ 100%", r2 / r1 * 100.0);
+        assert!(r4 < r2, "{app}: 4-way {r4} not below 2-way {r2}");
+    }
+}
+
+/// §4.2: at 6.25 % MP the caches are effectively infinite — zero
+/// replacement traffic.
+#[test]
+fn no_replacements_at_infinite_caches() {
+    for app in [AppId::Fft, AppId::Barnes, AppId::Radix, AppId::WaterSp] {
+        let r = report(app, 1, MemoryPressure::MP_6);
+        assert_eq!(r.traffic.replace_txns, 0, "{app} replaced at 6.25% MP");
+        assert_eq!(r.injections, 0);
+    }
+}
+
+/// Figures 3/4: traffic grows with memory pressure.
+#[test]
+fn traffic_grows_with_memory_pressure() {
+    for app in [AppId::Fft, AppId::OceanNon, AppId::Volrend] {
+        let low = report(app, 1, MemoryPressure::MP_6).traffic.total_bytes();
+        let mid = report(app, 1, MemoryPressure::MP_75).traffic.total_bytes();
+        let high = report(app, 1, MemoryPressure::MP_87).traffic.total_bytes();
+        assert!(mid > low, "{app}: traffic not increasing 6.25→75");
+        assert!(high > mid, "{app}: traffic not increasing 75→87.5");
+    }
+}
+
+/// Figure 3: clustering reduces total traffic up to 81.25 % MP.
+#[test]
+fn clustering_reduces_traffic_up_to_81() {
+    for app in [AppId::Cholesky, AppId::Fft, AppId::OceanCont, AppId::WaterN2] {
+        for mp in [MemoryPressure::MP_50, MemoryPressure::MP_81] {
+            let t1 = report(app, 1, mp).traffic.total_bytes();
+            let t4 = report(app, 4, mp).traffic.total_bytes();
+            assert!(t4 < t1, "{app} at {mp}: 4p traffic {t4} ≥ 1p {t1}");
+        }
+    }
+}
+
+/// Figure 4: 8-way associativity cuts the 87.5 %-MP conflict traffic for
+/// the wide-replication applications.
+#[test]
+fn eight_way_associativity_recovers_conflict_misses() {
+    for app in [AppId::Volrend, AppId::LuCont, AppId::Barnes] {
+        let p4 = params(1, MemoryPressure::MP_87);
+        let mut p8 = params(1, MemoryPressure::MP_87);
+        p8.machine.am_assoc = 8;
+        let t4 = run_simulation(app.build(16, 42, Scale::SMOKE), &p4)
+            .traffic
+            .total_bytes();
+        let t8 = run_simulation(app.build(16, 42, Scale::SMOKE), &p8)
+            .traffic
+            .total_bytes();
+        assert!(
+            t8 < t4,
+            "{app}: 8-way traffic {t8} not below 4-way {t4} at 87.5% MP"
+        );
+    }
+}
+
+/// Figure 5: at 81.25 % MP with doubled DRAM bandwidth, 4-way clustering
+/// improves execution time for the well-behaved applications, while
+/// LU-non — the paper's contention-dominated exception — degrades.
+#[test]
+fn fig5_clustering_helps_except_contention_dominated() {
+    let lat = LatencyConfig::paper_double_dram();
+    let exec = |app: AppId, ppn: usize| {
+        let mut p = params(ppn, MemoryPressure::MP_81);
+        p.latency = lat.clone();
+        run_simulation(app.build(16, 42, Scale::SMOKE), &p).exec_time_ns
+    };
+    for app in [AppId::Barnes, AppId::Fmm, AppId::Radiosity, AppId::Volrend, AppId::OceanNon] {
+        assert!(
+            exec(app, 4) < exec(app, 1),
+            "{app}: clustering should win at 81.25% MP"
+        );
+    }
+    // The paper's exception.
+    assert!(
+        exec(AppId::LuNon, 4) > exec(AppId::LuNon, 1),
+        "LU-non should be dominated by intra-node contention"
+    );
+}
+
+/// §4.3: halving the global bus bandwidth makes clustering more
+/// attractive (the remote penalty grows).
+#[test]
+fn half_bus_bandwidth_favours_clustering() {
+    let ratio = |lat: LatencyConfig| {
+        let mut p1 = params(1, MemoryPressure::MP_50);
+        p1.latency = lat.clone();
+        let mut p4 = params(4, MemoryPressure::MP_50);
+        p4.latency = lat;
+        let t1 = run_simulation(AppId::Fft.build(16, 42, Scale::SMOKE), &p1).exec_time_ns;
+        let t4 = run_simulation(AppId::Fft.build(16, 42, Scale::SMOKE), &p4).exec_time_ns;
+        t4 as f64 / t1 as f64
+    };
+    let normal = ratio(LatencyConfig::paper_double_dram());
+    let half_bus = ratio(LatencyConfig::paper_half_bus());
+    assert!(
+        half_bus < normal,
+        "halved bus should favour clustering: {half_bus:.3} !< {normal:.3}"
+    );
+}
+
+/// §4.3: FFT is the most pressure-sensitive application going *down* from
+/// 50 % to 6.25 % MP, and the gain is small (paper: 4.2 %) — i.e. 50 % MP
+/// is a sensible baseline.
+#[test]
+fn little_to_gain_below_50_percent_pressure() {
+    for app in [AppId::Fft, AppId::WaterN2, AppId::OceanCont] {
+        let t50 = report(app, 1, MemoryPressure::MP_50).exec_time_ns as f64;
+        let t6 = report(app, 1, MemoryPressure::MP_6).exec_time_ns as f64;
+        let gain = (t50 - t6) / t50;
+        assert!(
+            gain < 0.25,
+            "{app}: going to 6.25% MP should gain little, got {:.1}%",
+            gain * 100.0
+        );
+    }
+}

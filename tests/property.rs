@@ -1,0 +1,138 @@
+//! Property-based tests (proptest) on the core invariants, spanning the
+//! protocol, cache and simulation crates.
+
+use coma::cache::{AcceptPolicy, AmState, VictimPolicy};
+use coma::protocol::CoherenceEngine;
+use coma::types::{LineNum, MachineConfig, MemoryPressure, ProcId};
+use proptest::prelude::*;
+
+fn engine(ppn: usize, mp_num: u32) -> CoherenceEngine {
+    let cfg = MachineConfig {
+        n_procs: 8,
+        procs_per_node: ppn,
+        memory_pressure: MemoryPressure::new(mp_num, 16),
+        ..Default::default()
+    };
+    let geom = cfg.geometry(128 * 1024).unwrap();
+    CoherenceEngine::new(
+        geom,
+        VictimPolicy::SharedFirst,
+        AcceptPolicy::InvalidThenShared,
+        true,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any access sequence: exactly one responsible copy per live
+    /// line, sharers consistent, inclusion intact (the full invariant
+    /// checker), and — because total AM capacity covers the working set —
+    /// no line is ever lost.
+    #[test]
+    fn protocol_invariants_under_random_storm(
+        ppn in prop::sample::select(vec![1usize, 2, 4]),
+        mp_num in 4u32..=15,
+        seed in any::<u64>(),
+        n_ops in 500usize..3000,
+    ) {
+        let mut e = engine(ppn, mp_num);
+        let mut rng = coma::types::Rng64::new(seed);
+        let mut touched = std::collections::HashSet::new();
+        for _ in 0..n_ops {
+            let p = ProcId(rng.below(8) as u16);
+            let l = LineNum(rng.below(1500));
+            touched.insert(l);
+            if rng.chance(0.4) {
+                e.write(p, l);
+            } else {
+                e.read(p, l);
+            }
+        }
+        e.check_invariants().map_err(TestCaseError::fail)?;
+        // Conservation: every touched line is still live somewhere
+        // (page-outs can only occur above 100% pressure).
+        for l in touched {
+            prop_assert!(e.directory().contains(l), "line {l:?} lost");
+        }
+    }
+
+    /// A read always leaves the line readable at the reader's node, and a
+    /// write always leaves it Exclusive there.
+    #[test]
+    fn accesses_establish_required_state(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0u16..8, 0u64..800, any::<bool>()), 1..300),
+    ) {
+        let mut e = engine(2, 10);
+        let _ = seed;
+        for (p, l, is_write) in ops {
+            let proc = ProcId(p);
+            let line = LineNum(l);
+            let node = proc.node(2).as_usize();
+            if is_write {
+                e.write(proc, line);
+                prop_assert_eq!(e.node(node).am.state(line), AmState::Exclusive);
+            } else {
+                e.read(proc, line);
+                prop_assert!(e.node(node).am.state(line).is_valid());
+            }
+        }
+    }
+
+    /// RNMr is always a valid probability and total counts match the
+    /// number of issued operations.
+    #[test]
+    fn simulation_counts_are_conserved(
+        seed in any::<u64>(),
+        ppn in prop::sample::select(vec![1usize, 2, 4]),
+    ) {
+        use coma::prelude::*;
+        use coma::workloads::{Op, OpStream};
+
+        let app = AppId::WaterSp;
+        // Count the references the generator will emit.
+        let mut wl = app.build(16, seed, Scale::SMOKE);
+        let mut expect_reads = 0u64;
+        let mut expect_writes = 0u64;
+        for s in &mut wl.streams {
+            while let Some(op) = s.next_op() {
+                match op {
+                    Op::Read(_) => expect_reads += 1,
+                    Op::Write(_) => expect_writes += 1,
+                    _ => {}
+                }
+            }
+        }
+        // Run the same workload.
+        let mut params = SimParams::default();
+        params.machine.procs_per_node = ppn;
+        let r = run_simulation(app.build(16, seed, Scale::SMOKE), &params);
+        prop_assert!(r.rnm_rate() >= 0.0 && r.rnm_rate() <= 1.0);
+        // The simulator adds sync-line accesses (locks, barriers) on top
+        // of the data references, never removes any.
+        prop_assert!(r.counts.total_reads() >= expect_reads);
+        prop_assert!(r.counts.total_writes() >= expect_writes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The replication-threshold formula is always a valid fraction that
+    /// increases with associativity and with clustering.
+    #[test]
+    fn replication_threshold_properties(nodes in 2u32..=64, assoc in 2u32..=32) {
+        use coma::types::full_replication_threshold;
+        prop_assume!(nodes * assoc > nodes - 1);
+        let (n, d) = full_replication_threshold(nodes, assoc);
+        prop_assert!(n <= d && n > 0);
+        let f = n as f64 / d as f64;
+        let (n2, d2) = full_replication_threshold(nodes, assoc * 2);
+        prop_assert!(n2 as f64 / d2 as f64 > f);
+        if nodes % 2 == 0 {
+            let (n3, d3) = full_replication_threshold(nodes / 2, assoc);
+            prop_assert!(n3 as f64 / d3 as f64 > f);
+        }
+    }
+}
