@@ -1,12 +1,12 @@
 //! Design-choice ablation benches (DESIGN.md §8): AM associativity sweep,
 //! victim/accept replacement policies, and write-buffer depth.
 
+use coma_bench::harness::Bench;
 use coma_bench::BENCH_SCALE;
 use coma_cache::{AcceptPolicy, VictimPolicy};
 use coma_sim::{run_simulation, SimParams};
 use coma_types::MemoryPressure;
 use coma_workloads::AppId;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn run_with(f: impl Fn(&mut SimParams)) -> u64 {
@@ -18,76 +18,41 @@ fn run_with(f: impl Fn(&mut SimParams)) -> u64 {
     run_simulation(wl, &params).exec_time_ns
 }
 
-/// Generalized Figure 4: AM associativity 1/2/4/8/16.
-fn bench_assoc_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_assoc");
-    g.sample_size(10);
+fn main() {
+    let bench = Bench::from_args();
+
+    // Generalized Figure 4: AM associativity 1/2/4/8/16.
     for assoc in [1usize, 2, 4, 8, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(assoc), &assoc, |b, &assoc| {
-            b.iter(|| black_box(run_with(|p| p.machine.am_assoc = assoc)))
+        bench.case(&format!("ablation_assoc/{assoc}"), || {
+            black_box(run_with(|p| p.machine.am_assoc = assoc));
         });
     }
-    g.finish();
-}
 
-/// Victim priority: Shared-first (paper) vs strict LRU.
-fn bench_victim_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_victim");
-    g.sample_size(10);
+    // Victim priority: Shared-first (paper) vs strict LRU.
     for (name, pol) in [
         ("shared_first", VictimPolicy::SharedFirst),
         ("strict_lru", VictimPolicy::StrictLru),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_with(|p| p.victim_policy = pol)))
+        bench.case(&format!("ablation_victim/{name}"), || {
+            black_box(run_with(|p| p.victim_policy = pol));
         });
     }
-    g.finish();
-}
 
-/// Accept priority for injections.
-fn bench_accept_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_accept");
-    g.sample_size(10);
+    // Accept priority for injections.
     for (name, pol) in [
         ("invalid_then_shared", AcceptPolicy::InvalidThenShared),
         ("shared_then_invalid", AcceptPolicy::SharedThenInvalid),
         ("first_fit", AcceptPolicy::FirstFit),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_with(|p| p.accept_policy = pol)))
+        bench.case(&format!("ablation_accept/{name}"), || {
+            black_box(run_with(|p| p.accept_policy = pol));
         });
     }
-    g.finish();
-}
 
-/// Write-buffer depth under release consistency.
-fn bench_write_buffer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_write_buffer");
-    g.sample_size(10);
+    // Write-buffer depth under release consistency.
     for depth in [0usize, 2, 10, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            b.iter(|| black_box(run_with(|p| p.machine.write_buffer_entries = d)))
+        bench.case(&format!("ablation_write_buffer/{depth}"), || {
+            black_box(run_with(|p| p.machine.write_buffer_entries = depth));
         });
     }
-    g.finish();
 }
-
-/// Short measurement windows: each sample runs real simulation work.
-fn short() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
-}
-
-criterion_group!(
-    name = ablations;
-    config = short();
-    targets =
-    bench_assoc_sweep,
-    bench_victim_policy,
-    bench_accept_policy,
-    bench_write_buffer
-);
-criterion_main!(ablations);

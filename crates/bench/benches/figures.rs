@@ -2,115 +2,99 @@
 //! that regenerates (a reduced-scale slice of) that experiment and
 //! asserts its headline qualitative property on the measured reports.
 
+use coma_bench::harness::Bench;
 use coma_bench::{run_point, BENCH_SCALE, REP_APPS};
 use coma_types::{LatencyConfig, MemoryPressure};
 use coma_workloads::AppId;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-/// Table 1: workload construction + full trace drain for the catalog.
-fn bench_table1(c: &mut Criterion) {
-    use coma_workloads::OpStream;
-    c.bench_function("table1_workload_generation", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for app in [AppId::Fft, AppId::WaterN2] {
-                let mut wl = app.build(16, 42, BENCH_SCALE);
-                for s in &mut wl.streams {
-                    while let Some(op) = s.next_op() {
-                        total += matches!(op, coma_workloads::Op::Read(_)) as u64;
-                    }
+fn main() {
+    let bench = Bench::from_args();
+
+    // Table 1: workload construction + full trace drain for the catalog.
+    bench.case("table1_workload_generation", || {
+        use coma_workloads::OpStream;
+        let mut total = 0u64;
+        for app in [AppId::Fft, AppId::WaterN2] {
+            let mut wl = app.build(16, 42, BENCH_SCALE);
+            for s in &mut wl.streams {
+                while let Some(op) = s.next_op() {
+                    total += matches!(op, coma_workloads::Op::Read(_)) as u64;
                 }
             }
-            black_box(total)
-        })
+        }
+        black_box(total);
     });
-}
 
-/// Figure 2: RNMr at 6.25 % MP, 1-way vs 4-way clustering.
-fn bench_fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_rnm");
-    g.sample_size(10);
+    // Figure 2: RNMr at 6.25 % MP, 1-way vs 4-way clustering.
     for app in REP_APPS {
-        g.bench_function(app.name(), |b| {
-            b.iter(|| {
-                let r1 = run_point(app, 1, MemoryPressure::MP_6, 4, LatencyConfig::paper_default());
-                let r4 = run_point(app, 4, MemoryPressure::MP_6, 4, LatencyConfig::paper_default());
-                assert!(
-                    r4.rnm_rate() < r1.rnm_rate(),
-                    "{app}: clustering must reduce RNMr"
-                );
-                black_box((r1.rnm_rate(), r4.rnm_rate()))
-            })
+        bench.case(&format!("fig2_rnm/{}", app.name()), || {
+            let r1 = run_point(
+                app,
+                1,
+                MemoryPressure::MP_6,
+                4,
+                LatencyConfig::paper_default(),
+            );
+            let r4 = run_point(
+                app,
+                4,
+                MemoryPressure::MP_6,
+                4,
+                LatencyConfig::paper_default(),
+            );
+            assert!(
+                r4.rnm_rate() < r1.rnm_rate(),
+                "{app}: clustering must reduce RNMr"
+            );
+            black_box((r1.rnm_rate(), r4.rnm_rate()));
         });
     }
-    g.finish();
-}
 
-/// Figure 3: traffic across the memory-pressure sweep.
-fn bench_fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_traffic_sweep");
-    g.sample_size(10);
-    g.bench_function("fft_1p_vs_4p", |b| {
-        b.iter(|| {
-            let mut bytes = Vec::new();
-            for ppn in [1usize, 4] {
-                for mp in [MemoryPressure::MP_6, MemoryPressure::MP_81] {
-                    let r = run_point(AppId::Fft, ppn, mp, 4, LatencyConfig::paper_default());
-                    bytes.push(r.traffic.total_bytes());
-                }
+    // Figure 3: traffic across the memory-pressure sweep.
+    bench.case("fig3_traffic_sweep/fft_1p_vs_4p", || {
+        let mut bytes = Vec::new();
+        for ppn in [1usize, 4] {
+            for mp in [MemoryPressure::MP_6, MemoryPressure::MP_81] {
+                let r = run_point(AppId::Fft, ppn, mp, 4, LatencyConfig::paper_default());
+                bytes.push(r.traffic.total_bytes());
             }
-            // Clustering reduces traffic at 81.25% MP.
-            assert!(bytes[3] < bytes[1]);
-            black_box(bytes)
-        })
+        }
+        // Clustering reduces traffic at 81.25% MP.
+        assert!(bytes[3] < bytes[1]);
+        black_box(bytes);
     });
-    g.finish();
-}
 
-/// Figure 4: 8-way associativity recovery at 87.5 % MP.
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_associativity");
-    g.sample_size(10);
-    g.bench_function("volrend_4w_vs_8w", |b| {
-        b.iter(|| {
-            let r4 = run_point(AppId::Volrend, 1, MemoryPressure::MP_87, 4, LatencyConfig::paper_default());
-            let r8 = run_point(AppId::Volrend, 1, MemoryPressure::MP_87, 8, LatencyConfig::paper_default());
-            assert!(
-                r8.traffic.total_bytes() < r4.traffic.total_bytes(),
-                "8-way AM must cut conflict traffic"
-            );
-            black_box((r4.traffic.total_bytes(), r8.traffic.total_bytes()))
-        })
+    // Figure 4: 8-way associativity recovery at 87.5 % MP.
+    bench.case("fig4_associativity/volrend_4w_vs_8w", || {
+        let r4 = run_point(
+            AppId::Volrend,
+            1,
+            MemoryPressure::MP_87,
+            4,
+            LatencyConfig::paper_default(),
+        );
+        let r8 = run_point(
+            AppId::Volrend,
+            1,
+            MemoryPressure::MP_87,
+            8,
+            LatencyConfig::paper_default(),
+        );
+        assert!(
+            r8.traffic.total_bytes() < r4.traffic.total_bytes(),
+            "8-way AM must cut conflict traffic"
+        );
+        black_box((r4.traffic.total_bytes(), r8.traffic.total_bytes()));
     });
-    g.finish();
-}
 
-/// Figure 5: execution-time bars with doubled DRAM bandwidth.
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_exec_time");
-    g.sample_size(10);
-    g.bench_function("radiosity_bars", |b| {
-        b.iter(|| {
-            let lat = LatencyConfig::paper_double_dram;
-            let base = run_point(AppId::Radiosity, 1, MemoryPressure::MP_50, 4, lat());
-            let high = run_point(AppId::Radiosity, 1, MemoryPressure::MP_81, 4, lat());
-            let clus = run_point(AppId::Radiosity, 4, MemoryPressure::MP_81, 4, lat());
-            assert!(clus.exec_time_ns < high.exec_time_ns);
-            black_box((base.exec_time_ns, high.exec_time_ns, clus.exec_time_ns))
-        })
+    // Figure 5: execution-time bars with doubled DRAM bandwidth.
+    bench.case("fig5_exec_time/radiosity_bars", || {
+        let lat = LatencyConfig::paper_double_dram;
+        let base = run_point(AppId::Radiosity, 1, MemoryPressure::MP_50, 4, lat());
+        let high = run_point(AppId::Radiosity, 1, MemoryPressure::MP_81, 4, lat());
+        let clus = run_point(AppId::Radiosity, 4, MemoryPressure::MP_81, 4, lat());
+        assert!(clus.exec_time_ns < high.exec_time_ns);
+        black_box((base.exec_time_ns, high.exec_time_ns, clus.exec_time_ns));
     });
-    g.finish();
 }
-
-/// Short measurement windows: each sample is a full (smoke-scale)
-/// simulation, so the defaults would take far too long.
-fn short() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
-}
-
-criterion_group!(name = figures; config = short(); targets = bench_table1, bench_fig2, bench_fig3, bench_fig4, bench_fig5);
-criterion_main!(figures);

@@ -2,119 +2,85 @@
 //! cache-array operations, resource timing, and workload generation.
 //! These locate regressions below the whole-simulation level.
 
+use coma_bench::harness::Bench;
 use coma_cache::{AcceptPolicy, AttractionMemory, VictimPolicy};
 use coma_protocol::CoherenceEngine;
 use coma_timing::Resource;
 use coma_types::{LineNum, MachineConfig, MemoryPressure, ProcId, Rng64};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-/// Random read/write storm straight at the coherence engine.
-fn bench_engine_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate_engine");
-    g.throughput(criterion::Throughput::Elements(10_000));
+fn main() {
+    let bench = Bench::from_args();
+
+    // Random read/write storm straight at the coherence engine.
     for ppn in [1usize, 4] {
-        g.bench_function(format!("storm_ppn{ppn}"), |b| {
-            b.iter(|| {
-                let cfg = MachineConfig::paper(ppn, MemoryPressure::MP_81);
-                let geom = cfg.geometry(1 << 20).unwrap();
-                let mut e = CoherenceEngine::new(
-                    geom,
-                    VictimPolicy::SharedFirst,
-                    AcceptPolicy::InvalidThenShared,
-                    true,
-                );
-                let mut rng = Rng64::new(7);
-                for _ in 0..10_000 {
-                    let p = ProcId(rng.below(16) as u16);
-                    let l = LineNum(rng.below(8192));
-                    if rng.chance(0.3) {
-                        black_box(e.write(p, l));
-                    } else {
-                        black_box(e.read(p, l));
-                    }
+        bench.case(&format!("substrate_engine/storm_ppn{ppn}"), || {
+            let cfg = MachineConfig::paper(ppn, MemoryPressure::MP_81);
+            let geom = cfg.geometry(1 << 20).unwrap();
+            let mut e = CoherenceEngine::new(
+                geom,
+                VictimPolicy::SharedFirst,
+                AcceptPolicy::InvalidThenShared,
+                true,
+            );
+            let mut rng = Rng64::new(7);
+            for _ in 0..10_000 {
+                let p = ProcId(rng.below(16) as u16);
+                let l = LineNum(rng.below(8192));
+                if rng.chance(0.3) {
+                    black_box(e.write(p, l));
+                } else {
+                    black_box(e.read(p, l));
                 }
-            })
+            }
         });
     }
-    g.finish();
-}
 
-/// Attraction-memory lookup/insert/victim churn.
-fn bench_am_array(c: &mut Criterion) {
-    c.bench_function("substrate_am_churn", |b| {
-        b.iter(|| {
-            let mut am = AttractionMemory::new(512, 4, VictimPolicy::SharedFirst);
-            let mut rng = Rng64::new(3);
-            for _ in 0..20_000 {
-                let l = LineNum(rng.below(4096));
-                if am.touch(l).is_valid() {
-                    continue;
+    // Attraction-memory lookup/insert/victim churn.
+    bench.case("substrate_am_churn", || {
+        let mut am = AttractionMemory::new(512, 4, VictimPolicy::SharedFirst);
+        let mut rng = Rng64::new(3);
+        for _ in 0..20_000 {
+            let l = LineNum(rng.below(4096));
+            if am.touch(l).is_valid() {
+                continue;
+            }
+            match am.make_room(l) {
+                coma_cache::Victim::FreeSlot => {}
+                coma_cache::Victim::DropShared(v) | coma_cache::Victim::Inject(v, _) => {
+                    am.remove(v);
                 }
-                match am.make_room(l) {
-                    coma_cache::Victim::FreeSlot => {}
-                    coma_cache::Victim::DropShared(v) | coma_cache::Victim::Inject(v, _) => {
-                        am.remove(v);
-                    }
-                }
-                am.insert(
-                    l,
-                    if rng.chance(0.5) {
-                        coma_cache::AmState::Shared
-                    } else {
-                        coma_cache::AmState::Exclusive
-                    },
-                );
             }
-            black_box(am.len())
-        })
+            am.insert(
+                l,
+                if rng.chance(0.5) {
+                    coma_cache::AmState::Shared
+                } else {
+                    coma_cache::AmState::Exclusive
+                },
+            );
+        }
+        black_box(am.len());
+    });
+
+    // FIFO resource server under load.
+    bench.case("substrate_resource_serve", || {
+        let mut r = Resource::new();
+        let mut t = 0u64;
+        for i in 0..100_000u64 {
+            t = r.serve(i * 3, 50, 100);
+        }
+        black_box(t);
+    });
+
+    // Workload generation speed (ops per second of trace production).
+    bench.case("substrate_tracegen_fft", || {
+        use coma_workloads::{AppId, OpStream, Scale};
+        let mut wl = AppId::Fft.build(16, 42, Scale::SMOKE);
+        let mut n = 0u64;
+        while let Some(op) = wl.streams[0].next_op() {
+            n += black_box(matches!(op, coma_workloads::Op::Compute(_))) as u64;
+        }
+        black_box(n);
     });
 }
-
-/// FIFO resource server under load.
-fn bench_resource(c: &mut Criterion) {
-    c.bench_function("substrate_resource_serve", |b| {
-        b.iter(|| {
-            let mut r = Resource::new();
-            let mut t = 0u64;
-            for i in 0..100_000u64 {
-                t = r.serve(i * 3, 50, 100);
-            }
-            black_box(t)
-        })
-    });
-}
-
-/// Workload generation speed (ops per second of trace production).
-fn bench_workload_gen(c: &mut Criterion) {
-    use coma_workloads::{AppId, OpStream, Scale};
-    c.bench_function("substrate_tracegen_fft", |b| {
-        b.iter(|| {
-            let mut wl = AppId::Fft.build(16, 42, Scale::SMOKE);
-            let mut n = 0u64;
-            while let Some(op) = wl.streams[0].next_op() {
-                n += black_box(matches!(op, coma_workloads::Op::Compute(_))) as u64;
-            }
-            black_box(n)
-        })
-    });
-}
-
-/// Short measurement windows: each sample runs real simulation work.
-fn short() -> Criterion {
-    Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-        .sample_size(10)
-}
-
-criterion_group!(
-    name = substrates;
-    config = short();
-    targets =
-    bench_engine_throughput,
-    bench_am_array,
-    bench_resource,
-    bench_workload_gen
-);
-criterion_main!(substrates);

@@ -1,0 +1,85 @@
+//! A minimal, dependency-free bench harness.
+//!
+//! The workspace must build and test with no network access, so the
+//! benches cannot pull in an external harness crate. This module provides
+//! the small slice we actually use: named cases, a warm-up pass, a fixed
+//! number of measured iterations, and min/mean/max wall-clock reporting.
+//! Invoke via `cargo bench` (optionally with a substring filter argument).
+
+use std::time::{Duration, Instant};
+
+/// One bench executable's worth of cases.
+pub struct Bench {
+    filter: Option<String>,
+    iters: usize,
+}
+
+impl Bench {
+    /// Build from the command line: the first argument that is not a
+    /// `--flag` (cargo passes `--bench`) filters cases by substring.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Bench { filter, iters: 10 }
+    }
+
+    /// Number of measured iterations per case (default 10).
+    pub fn iters(mut self, n: usize) -> Self {
+        self.iters = n.max(1);
+        self
+    }
+
+    /// Run one case: a warm-up iteration, then `iters` timed iterations.
+    pub fn case<F: FnMut()>(&self, name: &str, mut f: F) {
+        if let Some(pat) = &self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
+        }
+        f(); // warm-up (also surfaces assertion failures before timing)
+        let mut samples = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            f();
+            samples.push(t0.elapsed());
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{name:<40} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}  ({} iters)",
+            min,
+            mean,
+            max,
+            samples.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_runs_warmup_plus_iters() {
+        let b = Bench {
+            filter: None,
+            iters: 3,
+        };
+        let mut n = 0u32;
+        b.case("counting", || n += 1);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let b = Bench {
+            filter: Some("fig2".into()),
+            iters: 2,
+        };
+        let mut n = 0u32;
+        b.case("table1", || n += 1);
+        assert_eq!(n, 0);
+        b.case("fig2_rnm", || n += 1);
+        assert_eq!(n, 3);
+    }
+}

@@ -1,14 +1,17 @@
-//! Shared helpers for the Criterion benches.
+//! Shared helpers for the benches.
 //!
 //! Each bench regenerates a reduced-scale version of one paper table or
 //! figure (the full-scale regeneration lives in `coma-experiments`; the
 //! benches measure how fast the simulator produces each figure's grid and
-//! guard against performance regressions).
+//! guard against performance regressions). The benches run on the
+//! dependency-free [`harness`] so the workspace builds fully offline.
 
 use coma_sim::{run_simulation, SimParams};
 use coma_stats::SimReport;
 use coma_types::{LatencyConfig, MemoryPressure};
 use coma_workloads::{AppId, Scale};
+
+pub mod harness;
 
 /// Trace scale used by all benches.
 pub const BENCH_SCALE: Scale = Scale::SMOKE;
@@ -32,12 +35,7 @@ pub fn run_point(
 
 /// A small representative application set (one from each behaviour class:
 /// all-to-all, neighbour, wide-replication, compute-bound).
-pub const REP_APPS: [AppId; 4] = [
-    AppId::Fft,
-    AppId::OceanNon,
-    AppId::Raytrace,
-    AppId::WaterN2,
-];
+pub const REP_APPS: [AppId; 4] = [AppId::Fft, AppId::OceanNon, AppId::Raytrace, AppId::WaterN2];
 
 #[cfg(test)]
 mod tests {

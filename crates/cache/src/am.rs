@@ -88,7 +88,10 @@ impl AttractionMemory {
         }
         match self.victim_policy {
             VictimPolicy::SharedFirst => {
-                if let Some(e) = self.array.lru_matching(line, |e| e.state == AmState::Shared) {
+                if let Some(e) = self
+                    .array
+                    .lru_matching(line, |e| e.state == AmState::Shared)
+                {
                     Victim::DropShared(e.line)
                 } else {
                     let e = self
@@ -135,9 +138,11 @@ impl AttractionMemory {
                     shared
                 }
             }
-            AcceptPolicy::SharedThenInvalid => {
-                shared.or(if free { Some(AcceptSlot::Invalid) } else { None })
-            }
+            AcceptPolicy::SharedThenInvalid => shared.or(if free {
+                Some(AcceptSlot::Invalid)
+            } else {
+                None
+            }),
             AcceptPolicy::FirstFit => {
                 if free {
                     Some(AcceptSlot::Invalid)
@@ -270,14 +275,20 @@ mod tests {
         let mut a = am(1, 2);
         a.insert(LineNum(1), AmState::Owner);
         a.insert(LineNum(3), AmState::Exclusive);
-        assert_eq!(a.accept_slot(LineNum(2), AcceptPolicy::InvalidThenShared), None);
+        assert_eq!(
+            a.accept_slot(LineNum(2), AcceptPolicy::InvalidThenShared),
+            None
+        );
     }
 
     #[test]
     fn holder_cannot_accept_its_own_line() {
         let mut a = am(1, 4);
         a.insert(LineNum(2), AmState::Shared);
-        assert_eq!(a.accept_slot(LineNum(2), AcceptPolicy::InvalidThenShared), None);
+        assert_eq!(
+            a.accept_slot(LineNum(2), AcceptPolicy::InvalidThenShared),
+            None
+        );
     }
 
     #[test]

@@ -112,7 +112,11 @@ impl<S: Copy> SetAssoc<S> {
             !self.sets[set].iter().any(|e| e.line == line),
             "duplicate insert"
         );
-        self.sets[set].push(Entry { line, state, lru: tick });
+        self.sets[set].push(Entry {
+            line,
+            state,
+            lru: tick,
+        });
     }
 
     /// Iterate over the valid entries of the set that `line` maps to.
@@ -139,7 +143,11 @@ impl<S: Copy> SetAssoc<S> {
     }
 
     /// Remove every entry failing the predicate, calling `on_evict` for each.
-    pub fn retain(&mut self, mut keep: impl FnMut(&Entry<S>) -> bool, mut on_evict: impl FnMut(&Entry<S>)) {
+    pub fn retain(
+        &mut self,
+        mut keep: impl FnMut(&Entry<S>) -> bool,
+        mut on_evict: impl FnMut(&Entry<S>),
+    ) {
         for set in &mut self.sets {
             set.retain(|e| {
                 let k = keep(e);
@@ -227,7 +235,10 @@ mod tests {
         c.insert(LineNum(1), 0);
         c.peek(LineNum(0));
         // 0 was inserted first and peek didn't refresh it: still LRU.
-        assert_eq!(c.lru_matching(LineNum(0), |_| true).unwrap().line, LineNum(0));
+        assert_eq!(
+            c.lru_matching(LineNum(0), |_| true).unwrap().line,
+            LineNum(0)
+        );
     }
 
     #[test]

@@ -1,12 +1,13 @@
-//! Property-based tests for the cache structures: the set-associative
-//! array is checked against a naive reference model, and the attraction
-//! memory's victim/accept decisions against their specifications.
+//! Randomized property tests for the cache structures, driven by the
+//! in-repo deterministic RNG (`coma_types::Rng64`) so the workspace needs
+//! no external test dependencies: the set-associative array is checked
+//! against a naive reference model, and the attraction memory's
+//! victim/accept decisions against their specifications.
 
 use coma_cache::{
     AcceptPolicy, AcceptSlot, AmState, AttractionMemory, SetAssoc, Victim, VictimPolicy,
 };
-use coma_types::LineNum;
-use proptest::prelude::*;
+use coma_types::{LineNum, Rng64};
 
 /// Reference model: a vector of (line, state) per set with LRU order
 /// (front = LRU).
@@ -23,38 +24,45 @@ enum ArrOp {
     SetState(u64, u8),
 }
 
-fn op_strategy(max_line: u64) -> impl Strategy<Value = ArrOp> {
-    prop_oneof![
-        (0..max_line).prop_map(ArrOp::Lookup),
-        (0..max_line, any::<u8>()).prop_map(|(l, s)| ArrOp::Insert(l, s)),
-        (0..max_line).prop_map(ArrOp::Remove),
-        (0..max_line, any::<u8>()).prop_map(|(l, s)| ArrOp::SetState(l, s)),
-    ]
+fn random_op(rng: &mut Rng64, max_line: u64) -> ArrOp {
+    let l = rng.below(max_line);
+    match rng.below(4) {
+        0 => ArrOp::Lookup(l),
+        1 => ArrOp::Insert(l, rng.below(256) as u8),
+        2 => ArrOp::Remove(l),
+        _ => ArrOp::SetState(l, rng.below(256) as u8),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SetAssoc agrees with a naive reference model under arbitrary op
-    /// sequences, including LRU victim identity.
-    #[test]
-    fn set_assoc_matches_reference_model(
-        ops in prop::collection::vec(op_strategy(64), 1..400),
-        n_sets in 1u64..8,
-        assoc in 1usize..5,
-    ) {
+/// SetAssoc agrees with a naive reference model under arbitrary op
+/// sequences, including LRU victim identity.
+#[test]
+fn set_assoc_matches_reference_model() {
+    let mut rng = Rng64::new(0xCACE);
+    for _case in 0..64 {
+        let n_sets = rng.range(1, 8);
+        let assoc = rng.range(1, 5) as usize;
+        let n_ops = rng.range(1, 400);
         let mut arr: SetAssoc<u8> = SetAssoc::new(n_sets, assoc);
         let mut model: Vec<RefSet> = vec![RefSet::default(); n_sets as usize];
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng, 64) {
                 ArrOp::Lookup(l) => {
                     let set = (l % n_sets) as usize;
                     let got = arr.lookup(LineNum(l)).map(|e| e.state);
-                    let want = model[set].entries.iter().find(|(x, _)| *x == l).map(|(_, s)| *s);
-                    prop_assert_eq!(got, want);
+                    let want = model[set]
+                        .entries
+                        .iter()
+                        .find(|(x, _)| *x == l)
+                        .map(|(_, s)| *s);
+                    assert_eq!(got, want);
                     if want.is_some() {
                         // Move to MRU position in the model.
-                        let pos = model[set].entries.iter().position(|(x, _)| *x == l).unwrap();
+                        let pos = model[set]
+                            .entries
+                            .iter()
+                            .position(|(x, _)| *x == l)
+                            .unwrap();
                         let e = model[set].entries.remove(pos);
                         model[set].entries.push(e);
                     }
@@ -71,7 +79,7 @@ proptest! {
                     let set = (l % n_sets) as usize;
                     let got = arr.remove(LineNum(l));
                     let pos = model[set].entries.iter().position(|(x, _)| *x == l);
-                    prop_assert_eq!(got, pos.map(|p| model[set].entries[p].1));
+                    assert_eq!(got, pos.map(|p| model[set].entries[p].1));
                     if let Some(p) = pos {
                         model[set].entries.remove(p);
                     }
@@ -80,38 +88,43 @@ proptest! {
                     let set = (l % n_sets) as usize;
                     let ok = arr.set_state(LineNum(l), s);
                     let pos = model[set].entries.iter().position(|(x, _)| *x == l);
-                    prop_assert_eq!(ok, pos.is_some());
+                    assert_eq!(ok, pos.is_some());
                     if let Some(p) = pos {
                         model[set].entries[p].1 = s;
                     }
                 }
             }
             // Structural agreement after every op.
-            prop_assert_eq!(arr.len(), model.iter().map(|m| m.entries.len()).sum::<usize>());
+            assert_eq!(
+                arr.len(),
+                model.iter().map(|m| m.entries.len()).sum::<usize>()
+            );
         }
         // LRU victims agree set by set.
         for s in 0..n_sets {
             let line = LineNum(s);
             let got = arr.lru_matching(line, |_| true).map(|e| e.line.0);
             let want = model[s as usize].entries.first().map(|(l, _)| *l);
-            prop_assert_eq!(got, want, "LRU mismatch in set {}", s);
+            assert_eq!(got, want, "LRU mismatch in set {s}");
         }
     }
+}
 
-    /// The AM never chooses to inject while a Shared replica is available
-    /// (paper victim priority), and a free slot always wins.
-    #[test]
-    fn am_victim_priority_specification(
-        fill in prop::collection::vec((0u64..32, 0u8..3), 0..64),
-        probe in 0u64..32,
-    ) {
+/// The AM never chooses to inject while a Shared replica is available
+/// (paper victim priority), and a free slot always wins.
+#[test]
+fn am_victim_priority_specification() {
+    let mut rng = Rng64::new(0xA11);
+    for _case in 0..64 {
         let mut am = AttractionMemory::new(8, 4, VictimPolicy::SharedFirst);
-        for (l, s) in fill {
+        let n_fill = rng.below(64);
+        for _ in 0..n_fill {
+            let l = rng.below(32);
             if am.state(LineNum(l)).is_valid() {
                 continue;
             }
             if let Victim::FreeSlot = am.make_room(LineNum(l)) {
-                let st = match s {
+                let st = match rng.below(3) {
                     0 => AmState::Shared,
                     1 => AmState::Owner,
                     _ => AmState::Exclusive,
@@ -119,9 +132,10 @@ proptest! {
                 am.insert(LineNum(l), st);
             }
         }
+        let probe = rng.below(32);
         let line = LineNum(probe);
         if am.state(line).is_valid() {
-            return Ok(());
+            continue;
         }
         let set_states: Vec<AmState> = (0..32)
             .filter(|l| l % 8 == probe % 8)
@@ -129,26 +143,28 @@ proptest! {
             .filter(|s| s.is_valid())
             .collect();
         match am.make_room(line) {
-            Victim::FreeSlot => prop_assert!(set_states.len() < 4),
+            Victim::FreeSlot => assert!(set_states.len() < 4),
             Victim::DropShared(_) => {
-                prop_assert!(set_states.contains(&AmState::Shared));
-                prop_assert_eq!(set_states.len(), 4);
+                assert!(set_states.contains(&AmState::Shared));
+                assert_eq!(set_states.len(), 4);
             }
             Victim::Inject(_, st) => {
-                prop_assert!(!set_states.contains(&AmState::Shared));
-                prop_assert!(st.is_responsible());
-                prop_assert_eq!(set_states.len(), 4);
+                assert!(!set_states.contains(&AmState::Shared));
+                assert!(st.is_responsible());
+                assert_eq!(set_states.len(), 4);
             }
         }
     }
+}
 
-    /// Accept policy: a node with room must offer a slot, the holder never
-    /// offers, and Invalid slots are preferred under the paper policy.
-    #[test]
-    fn am_accept_specification(
-        n_shared in 0usize..5,
-        n_owned in 0usize..5,
-    ) {
+/// Accept policy: a node with room must offer a slot, the holder never
+/// offers, and Invalid slots are preferred under the paper policy.
+#[test]
+fn am_accept_specification() {
+    let mut rng = Rng64::new(0xACC);
+    for _case in 0..64 {
+        let n_shared = rng.below(5) as usize;
+        let n_owned = rng.below(5) as usize;
         let mut am = AttractionMemory::new(1, 4, VictimPolicy::SharedFirst);
         let mut l = 1u64;
         for _ in 0..n_shared.min(4) {
@@ -167,16 +183,16 @@ proptest! {
         let slot = am.accept_slot(LineNum(0), AcceptPolicy::InvalidThenShared);
         let occupied = am.len();
         if occupied < 4 {
-            prop_assert_eq!(slot, Some(AcceptSlot::Invalid));
+            assert_eq!(slot, Some(AcceptSlot::Invalid));
         } else if n_shared.min(4) > 0 {
-            prop_assert!(matches!(slot, Some(AcceptSlot::Shared(_))));
+            assert!(matches!(slot, Some(AcceptSlot::Shared(_))));
         } else {
-            prop_assert_eq!(slot, None);
+            assert_eq!(slot, None);
         }
         // A holder never accepts its own line.
         let first = am.lines().next().map(|(line, _)| line);
         if let Some(line) = first {
-            prop_assert_eq!(am.accept_slot(line, AcceptPolicy::InvalidThenShared), None);
+            assert_eq!(am.accept_slot(line, AcceptPolicy::InvalidThenShared), None);
         }
     }
 }

@@ -22,9 +22,7 @@ impl Args {
                 let (key, val) = match rest.split_once('=') {
                     Some((k, v)) => (k.to_string(), v.to_string()),
                     None => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| format!("--{rest} needs a value"))?;
+                        let v = it.next().ok_or_else(|| format!("--{rest} needs a value"))?;
                         (rest.to_string(), v)
                     }
                 };

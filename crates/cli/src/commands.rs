@@ -30,8 +30,14 @@ OPTIONS:
 /// Parse a memory pressure: `81`, `87.5`, `13/16`, …
 fn parse_mp(s: &str) -> Result<MemoryPressure, String> {
     if let Some((n, d)) = s.split_once('/') {
-        let n: u32 = n.trim().parse().map_err(|_| format!("bad fraction '{s}'"))?;
-        let d: u32 = d.trim().parse().map_err(|_| format!("bad fraction '{s}'"))?;
+        let n: u32 = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad fraction '{s}'"))?;
+        let d: u32 = d
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad fraction '{s}'"))?;
         if n == 0 || d == 0 || n > d {
             return Err(format!("memory pressure '{s}' out of (0,1]"));
         }
@@ -145,7 +151,11 @@ pub fn run(args: &Args) -> Result<(), String> {
         c.params.machine.am_assoc
     );
     println!("execution time   {:>12.3} ms", r.exec_time_ns as f64 / 1e6);
-    println!("reads / writes   {:>12} / {}", r.counts.total_reads(), r.counts.total_writes());
+    println!(
+        "reads / writes   {:>12} / {}",
+        r.counts.total_reads(),
+        r.counts.total_writes()
+    );
     println!("RNMr             {:>11.3} %", r.rnm_rate() * 100.0);
     println!(
         "bus traffic      {:>12} B (read {} / write {} / replace {})",
@@ -319,10 +329,7 @@ mod tests {
 
     #[test]
     fn common_rejects_bad_ppn() {
-        let args = crate::args::Args::parse(
-            ["run", "--ppn", "3"].map(String::from),
-        )
-        .unwrap();
+        let args = crate::args::Args::parse(["run", "--ppn", "3"].map(String::from)).unwrap();
         assert!(common(&args).is_err());
     }
 
@@ -338,7 +345,10 @@ mod tests {
     #[test]
     fn compare_command_smoke() {
         let args = crate::args::Args::parse(
-            ["compare", "--app", "water-sp", "--scale", "smoke", "--mp", "81"].map(String::from),
+            [
+                "compare", "--app", "water-sp", "--scale", "smoke", "--mp", "81",
+            ]
+            .map(String::from),
         )
         .unwrap();
         compare(&args).unwrap();
@@ -351,14 +361,16 @@ mod tests {
         let path = dir.join("t.trace");
         let p = path.to_str().unwrap();
         let rec = crate::args::Args::parse(
-            ["record", "--app", "water-n2", "--scale", "smoke", "--trace", p].map(String::from),
+            [
+                "record", "--app", "water-n2", "--scale", "smoke", "--trace", p,
+            ]
+            .map(String::from),
         )
         .unwrap();
         record(&rec).unwrap();
-        let rep = crate::args::Args::parse(
-            ["replay", "--trace", p, "--ppn", "4"].map(String::from),
-        )
-        .unwrap();
+        let rep =
+            crate::args::Args::parse(["replay", "--trace", p, "--ppn", "4"].map(String::from))
+                .unwrap();
         replay(&rep).unwrap();
     }
 

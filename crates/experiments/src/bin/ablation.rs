@@ -31,7 +31,12 @@ fn main() {
 
     println!("Ablations at 4-way clustering, 81.25% MP\n");
 
-    let mut t = Table::new(vec!["Application", "variant", "exec vs base", "traffic vs base"]);
+    let mut t = Table::new(vec![
+        "Application",
+        "variant",
+        "exec vs base",
+        "traffic vs base",
+    ]);
     for app in APPS {
         let (base_t, base_b) = run(&ctx, app, |_| {});
         let mut row = |name: &str, r: (u64, u64)| {
@@ -48,7 +53,9 @@ fn main() {
         );
         row(
             "accept: shared-first",
-            run(&ctx, app, |p| p.accept_policy = AcceptPolicy::SharedThenInvalid),
+            run(&ctx, app, |p| {
+                p.accept_policy = AcceptPolicy::SharedThenInvalid
+            }),
         );
         row(
             "accept: first-fit",

@@ -45,8 +45,14 @@ fn main() {
                 ppn.to_string(),
                 (b_incl / 1024).to_string(),
                 (b_non / 1024).to_string(),
-                format!("{:+.1}%", (b_non as f64 / b_incl.max(1) as f64 - 1.0) * 100.0),
-                format!("{:+.1}%", (t_non as f64 / t_incl.max(1) as f64 - 1.0) * 100.0),
+                format!(
+                    "{:+.1}%",
+                    (b_non as f64 / b_incl.max(1) as f64 - 1.0) * 100.0
+                ),
+                format!(
+                    "{:+.1}%",
+                    (t_non as f64 / t_incl.max(1) as f64 - 1.0) * 100.0
+                ),
             ]);
         }
     }

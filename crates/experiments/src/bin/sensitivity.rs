@@ -21,7 +21,10 @@ fn main() {
     let configs: [(&str, LatencyConfig); 4] = [
         ("default", LatencyConfig::paper_default()),
         ("2x DRAM", LatencyConfig::paper_double_dram()),
-        ("4x DRAM + 2x ctrl", LatencyConfig::paper_quad_dram_double_ctrl()),
+        (
+            "4x DRAM + 2x ctrl",
+            LatencyConfig::paper_quad_dram_double_ctrl(),
+        ),
         ("2x DRAM, half bus", LatencyConfig::paper_half_bus()),
     ];
 

@@ -13,9 +13,9 @@
 use coma_experiments::ExpCtx;
 use coma_sim::{run_simulation, SimParams};
 use coma_stats::Table;
+use coma_types::Addr;
 use coma_types::{full_replication_threshold, MemoryPressure};
 use coma_workloads::{Op, OpStream, Workload};
-use coma_types::Addr;
 
 /// Micro-workload: phase 1 touches the private fill (per-proc partition),
 /// phase 2 re-reads one globally hot line interleaved with private reads.

@@ -231,8 +231,7 @@ mod tests {
         let mut t = Table::new(vec!["a"]);
         t.row(vec!["1"]);
         ctx.write_csv("unit-test", &t);
-        let content =
-            std::fs::read_to_string(ctx.out_dir.join("unit-test.csv")).unwrap();
+        let content = std::fs::read_to_string(ctx.out_dir.join("unit-test.csv")).unwrap();
         assert_eq!(content, "a\n1\n");
     }
 

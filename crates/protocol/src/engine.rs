@@ -5,33 +5,37 @@
 //! The engine is purely functional with respect to time — it does not
 //! know what a nanosecond is. `coma-sim` layers the paper's §3.2 timing
 //! (and resource contention) on top of the outcomes.
+//!
+//! This module is the thin coordinator: machine state, construction,
+//! accessors and the invariant checker. The protocol logic proper is
+//! split by concern into the child modules:
+//!
+//! * [`read_path`] — processor reads, from FLC hit down to the global
+//!   bus read;
+//! * [`write_path`] — ownership acquisition: upgrades and
+//!   read-exclusive fetches;
+//! * [`replacement`] — AM victim selection fallout: the accept-based
+//!   injection protocol, ownership migration and page-out.
+//!
+//! All statistics flow through the engine's [`EventSink`]
+//! (`coma-stats`): the protocol code reports *what happened* and the
+//! sink turns it into traffic bytes and counters.
+
+mod read_path;
+mod replacement;
+mod write_path;
 
 use crate::directory::{Directory, LineHasher};
 use crate::node::NodeState;
 use crate::outcome::Outcome;
 use coma_cache::{AcceptPolicy, AcceptSlot, AmState, SlcState, Victim, VictimPolicy};
-use coma_stats::{Level, Traffic};
+use coma_stats::{CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic};
 use coma_types::{LineNum, MachineGeometry, NodeId, ProcId, LINE_SHIFT, PAGE_SHIFT};
 use std::collections::{HashMap, HashSet};
 use std::hash::BuildHasherDefault;
 
 /// Lines per page (4096 / 64).
 const PAGE_LINES_SHIFT: u32 = PAGE_SHIFT - LINE_SHIFT;
-
-/// Protocol-level event counters (beyond bus traffic).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ProtocolStats {
-    /// Successful injections of displaced responsible copies.
-    pub injections: u64,
-    /// Injections resolved by migrating ownership to an existing replica.
-    pub ownership_migrations: u64,
-    /// Shared replicas silently dropped by replacement.
-    pub shared_drops: u64,
-    /// Injections with no receiver anywhere (OS page-out).
-    pub pageouts: u64,
-    /// Lines first materialized by on-demand page allocation.
-    pub cold_allocs: u64,
-}
 
 /// The machine-wide coherence state machine.
 pub struct CoherenceEngine {
@@ -45,10 +49,8 @@ pub struct CoherenceEngine {
     accept_policy: AcceptPolicy,
     intra_node_transfers: bool,
     inclusive_hierarchy: bool,
-    /// Global bus traffic, decomposed as in Figures 3–4.
-    pub traffic: Traffic,
-    /// Replacement / allocation event counters.
-    pub stats: ProtocolStats,
+    /// Where every protocol event lands: traffic + counters.
+    sink: CounterSink,
 }
 
 impl CoherenceEngine {
@@ -58,7 +60,13 @@ impl CoherenceEngine {
         accept_policy: AcceptPolicy,
         intra_node_transfers: bool,
     ) -> Self {
-        Self::with_inclusion(geom, victim_policy, accept_policy, intra_node_transfers, true)
+        Self::with_inclusion(
+            geom,
+            victim_policy,
+            accept_policy,
+            intra_node_transfers,
+            true,
+        )
     }
 
     /// Like [`CoherenceEngine::new`], with control over SLC/AM inclusion.
@@ -85,9 +93,26 @@ impl CoherenceEngine {
             accept_policy,
             intra_node_transfers,
             inclusive_hierarchy,
-            traffic: Traffic::default(),
-            stats: ProtocolStats::default(),
+            sink: CounterSink::default(),
         }
+    }
+
+    /// Record one protocol event into the engine's sink.
+    #[inline]
+    fn emit(&mut self, ev: ProtocolEvent) {
+        self.sink.record(ev);
+    }
+
+    /// Global bus traffic, decomposed as in Figures 3–4.
+    #[inline]
+    pub fn traffic(&self) -> &Traffic {
+        &self.sink.traffic
+    }
+
+    /// Replacement / allocation event counters.
+    #[inline]
+    pub fn counters(&self) -> &ProtocolCounters {
+        &self.sink.counters
     }
 
     /// Does any private cache in `node_idx` still hold `line`?
@@ -96,21 +121,6 @@ impl CoherenceEngine {
             .slcs
             .iter()
             .any(|s| s.peek(line).is_valid())
-    }
-
-    /// An AM entry is being displaced (replacement, not coherence). Under
-    /// inclusion the private copies die with it; without inclusion clean
-    /// SLC replicas survive and the node remains a sharer. Returns true
-    /// if the node keeps (SLC-only) copies.
-    fn displace_private(&mut self, node_idx: usize, line: LineNum) -> bool {
-        if self.inclusive_hierarchy {
-            self.nodes[node_idx].invalidate_private(line);
-            return false;
-        }
-        // Dirty data must not be lost: fold it back before the AM entry
-        // goes (the write-back is part of the replacement).
-        self.nodes[node_idx].downgrade_private(line);
-        self.slc_holds(node_idx, line)
     }
 
     #[inline]
@@ -132,226 +142,6 @@ impl CoherenceEngine {
         &self.dir
     }
 
-    /// Perform a processor read of `line`.
-    pub fn read(&mut self, proc: ProcId, line: LineNum) -> Outcome {
-        let n = self.node_of(proc);
-        let pidx = proc.index_in_node(self.geom.procs_per_node);
-
-        if self.nodes[n].flcs[pidx].read_hit(line) {
-            return Outcome::at(Level::Flc);
-        }
-        let slc_state = self.nodes[n].slcs[pidx].lookup(line);
-        if slc_state.is_valid() {
-            self.nodes[n].flcs[pidx].fill(line, slc_state == SlcState::Modified);
-            return Outcome::at(Level::Slc);
-        }
-
-        let mut out;
-        if self.intra_node_transfers {
-            if let Some(peer) = self.nodes[n].dirty_peer(line, pidx) {
-                // Dirty intra-node supply: peer downgrades, data written
-                // back into the AM (which must hold the line Exclusive).
-                self.nodes[n].slcs[peer].downgrade(line);
-                self.nodes[n].flcs[peer].downgrade(line);
-                debug_assert_eq!(self.nodes[n].am.state(line), AmState::Exclusive);
-                out = Outcome::at(Level::PeerSlc);
-                out.peer_slc = Some(peer);
-                self.fill_private_read(n, pidx, line, &mut out);
-                return out;
-            }
-        } else if let Some(peer) = self.nodes[n].dirty_peer(line, pidx) {
-            // Without direct transfers the peer writes back first and the
-            // AM supplies; functionally identical, timed as an AM hit.
-            self.nodes[n].slcs[peer].downgrade(line);
-            self.nodes[n].flcs[peer].downgrade(line);
-        }
-
-        if self.nodes[n].am.touch(line).is_valid() {
-            out = Outcome::at(Level::Am);
-            self.fill_private_read(n, pidx, line, &mut out);
-            return out;
-        }
-
-        // Node miss: the access goes on the global bus.
-        out = self.global_read(n, line);
-        self.fill_private_read(n, pidx, line, &mut out);
-        out
-    }
-
-    /// Perform a processor write of `line` (ownership acquisition; the
-    /// store data itself is not modeled).
-    pub fn write(&mut self, proc: ProcId, line: LineNum) -> Outcome {
-        let n = self.node_of(proc);
-        let pidx = proc.index_in_node(self.geom.procs_per_node);
-
-        if self.nodes[n].flcs[pidx].write_hit(line) {
-            return Outcome::at(Level::Flc);
-        }
-        if self.nodes[n].slcs[pidx].lookup(line) == SlcState::Modified {
-            self.nodes[n].flcs[pidx].fill(line, true);
-            return Outcome::at(Level::Slc);
-        }
-
-        // Ownership must be obtained: first silence the node-local peers.
-        self.nodes[n].invalidate_peers(line, pidx);
-
-        let mut out = match self.nodes[n].am.touch(line) {
-            AmState::Exclusive => Outcome::at(Level::Am),
-            AmState::Owner | AmState::Shared => self.global_upgrade(n, line),
-            AmState::Invalid => self.global_read_exclusive(n, line),
-        };
-        self.fill_private_write(n, pidx, line, &mut out);
-        out
-    }
-
-    /// Fill SLC (Shared) + FLC after a read serviced at/under the AM.
-    fn fill_private_read(&mut self, n: usize, pidx: usize, line: LineNum, out: &mut Outcome) {
-        if let Some((evicted, st)) = self.nodes[n].slcs[pidx].insert(line, SlcState::Shared) {
-            if st == SlcState::Modified {
-                // Write-back into the AM (data only; AM keeps Exclusive).
-                out.slc_writeback = true;
-            }
-            self.nodes[n].flcs[pidx].invalidate(evicted);
-            self.retire_slc_only_sharer(n, evicted);
-        }
-        self.nodes[n].flcs[pidx].fill(line, false);
-    }
-
-    /// Fill SLC (Modified) + FLC after a write obtained ownership.
-    fn fill_private_write(&mut self, n: usize, pidx: usize, line: LineNum, out: &mut Outcome) {
-        if let Some((evicted, st)) = self.nodes[n].slcs[pidx].insert(line, SlcState::Modified) {
-            if st == SlcState::Modified {
-                out.slc_writeback = true;
-            }
-            self.nodes[n].flcs[pidx].invalidate(evicted);
-            self.retire_slc_only_sharer(n, evicted);
-        }
-        self.nodes[n].flcs[pidx].fill(line, true);
-    }
-
-    /// An SLC eviction may have destroyed a node's last copy of a line it
-    /// held only in its private caches (non-inclusive hierarchies): the
-    /// node then stops being a sharer.
-    fn retire_slc_only_sharer(&mut self, n: usize, line: LineNum) {
-        if !self.inclusive_hierarchy
-            && !self.nodes[n].am.state(line).is_valid()
-            && !self.slc_holds(n, line)
-        {
-            self.dir.remove_sharer(line, NodeId(n as u16));
-        }
-    }
-
-    /// Remote read: supply a Shared copy into node `n`.
-    fn global_read(&mut self, n: usize, line: LineNum) -> Outcome {
-        let mut out = Outcome::at(Level::Remote);
-        match self.dir.get(line) {
-            Some(info) => {
-                let owner = info.owner.as_usize();
-                debug_assert_ne!(owner, n, "node-missing line owned locally");
-                // Any dirty private copy in the owner node is written back.
-                self.nodes[owner].downgrade_private(line);
-                if self.nodes[owner].am.state(line) == AmState::Exclusive {
-                    self.nodes[owner].am.set_state(line, AmState::Owner);
-                }
-                self.fill_am(n, line, AmState::Shared, &mut out);
-                self.dir.add_sharer(line, NodeId(n as u16));
-                out.remote_node = Some(NodeId(owner as u16));
-                self.traffic.record_read_fill();
-            }
-            None => {
-                let home = self.home_of(line, n);
-                out.pagein = self.paged_out.remove(&line);
-                if out.pagein {
-                    self.stats.cold_allocs += 1;
-                }
-                if home == n {
-                    // Local on-demand materialization: no bus traffic.
-                    self.fill_am(n, line, AmState::Exclusive, &mut out);
-                    self.dir.insert_sole(line, NodeId(n as u16));
-                    self.stats.cold_allocs += 1;
-                    out.level = Level::Am;
-                } else {
-                    // The page frame lives at `home`: materialize the
-                    // responsible copy there and supply a replica here.
-                    self.fill_am(home, line, AmState::Owner, &mut out);
-                    self.dir.insert_sole(line, NodeId(home as u16));
-                    self.fill_am(n, line, AmState::Shared, &mut out);
-                    self.dir.add_sharer(line, NodeId(n as u16));
-                    self.stats.cold_allocs += 1;
-                    out.remote_node = Some(NodeId(home as u16));
-                    self.traffic.record_read_fill();
-                }
-            }
-        }
-        out
-    }
-
-    /// Write upgrade: the node already holds the line (Owner or Shared);
-    /// invalidate every other copy and end Exclusive.
-    fn global_upgrade(&mut self, n: usize, line: LineNum) -> Outcome {
-        let mut out = Outcome::at(Level::Remote);
-        let info = self.dir.get(line).expect("valid AM line not in directory");
-        for sh in info.sharer_nodes() {
-            let s = sh.as_usize();
-            if s != n {
-                self.nodes[s].am.remove(line);
-                self.nodes[s].invalidate_private(line);
-            }
-        }
-        let owner = info.owner.as_usize();
-        if owner != n {
-            self.nodes[owner].am.remove(line);
-            self.nodes[owner].invalidate_private(line);
-        }
-        self.dir.set_owner(line, NodeId(n as u16));
-        self.dir.clear_sharers(line);
-        self.nodes[n].am.set_state(line, AmState::Exclusive);
-        out.upgrade = true;
-        self.traffic.record_upgrade();
-        out
-    }
-
-    /// Write miss: fetch the line with ownership (read-exclusive),
-    /// invalidating every existing copy.
-    fn global_read_exclusive(&mut self, n: usize, line: LineNum) -> Outcome {
-        let mut out = Outcome::at(Level::Remote);
-        match self.dir.get(line) {
-            Some(info) => {
-                for sh in info.sharer_nodes() {
-                    let s = sh.as_usize();
-                    self.nodes[s].am.remove(line);
-                    self.nodes[s].invalidate_private(line);
-                }
-                let owner = info.owner.as_usize();
-                debug_assert_ne!(owner, n);
-                self.nodes[owner].am.remove(line);
-                self.nodes[owner].invalidate_private(line);
-                self.dir.remove(line);
-                self.fill_am(n, line, AmState::Exclusive, &mut out);
-                self.dir.insert_sole(line, NodeId(n as u16));
-                out.read_exclusive = true;
-                out.remote_node = Some(NodeId(owner as u16));
-                self.traffic.record_read_exclusive();
-            }
-            None => {
-                let home = self.home_of(line, n);
-                out.pagein = self.paged_out.remove(&line);
-                self.fill_am(n, line, AmState::Exclusive, &mut out);
-                self.dir.insert_sole(line, NodeId(n as u16));
-                self.stats.cold_allocs += 1;
-                if home == n {
-                    out.level = Level::Am; // local cold allocation
-                } else {
-                    // Data pulled from the home node's page frame.
-                    out.read_exclusive = true;
-                    out.remote_node = Some(NodeId(home as u16));
-                    self.traffic.record_read_exclusive();
-                }
-            }
-        }
-        out
-    }
-
     /// Home node of a line's page, allocating the page on first touch.
     fn home_of(&mut self, line: LineNum, toucher: usize) -> usize {
         let page = line.0 >> PAGE_LINES_SHIFT;
@@ -359,116 +149,6 @@ impl CoherenceEngine {
             .entry(page)
             .or_insert(NodeId(toucher as u16))
             .as_usize()
-    }
-
-    /// Make room for and insert `line` into node `node_idx`'s AM.
-    fn fill_am(&mut self, node_idx: usize, line: LineNum, state: AmState, out: &mut Outcome) {
-        match self.nodes[node_idx].am.make_room(line) {
-            Victim::FreeSlot => {}
-            Victim::DropShared(l) => {
-                self.nodes[node_idx].am.remove(l);
-                let keeps = self.displace_private(node_idx, l);
-                if !keeps {
-                    self.dir.remove_sharer(l, NodeId(node_idx as u16));
-                }
-                self.stats.shared_drops += 1;
-                out.dropped_shared = true;
-            }
-            Victim::Inject(l, _) => {
-                self.nodes[node_idx].am.remove(l);
-                let keeps = self.displace_private(node_idx, l);
-                self.inject(node_idx, l, keeps, out);
-            }
-        }
-        self.nodes[node_idx].am.insert(line, state);
-        out.am_filled = true;
-    }
-
-    /// Relocate a displaced responsible copy (the accept-based strategy).
-    /// `from_keeps_slc` marks that the displacing node retains SLC-only
-    /// replicas (non-inclusive hierarchies).
-    fn inject(&mut self, from: usize, line: LineNum, from_keeps_slc: bool, out: &mut Outcome) {
-        // 1. Ownership migration: a Shared replica anywhere can simply
-        //    take over responsibility — no data slot is consumed.
-        if let Some(info) = self.dir.get(line) {
-            debug_assert_eq!(info.owner.as_usize(), from, "injecting non-owned line");
-            if info.sharers != 0 {
-                let new_owner = info.sharer_nodes().next().expect("sharers non-empty");
-                self.nodes[new_owner.as_usize()]
-                    .am
-                    .set_state(line, AmState::Owner);
-                self.dir.set_owner(line, new_owner);
-                if from_keeps_slc {
-                    self.dir.add_sharer(line, NodeId(from as u16));
-                }
-                self.traffic.record_ownership_migration();
-                self.stats.ownership_migrations += 1;
-                out.ownership_migrated = true;
-                return;
-            }
-        }
-
-        // 2. Snoop arbitration for a receiver, scanning nodes after the
-        //    injector (deterministic round-robin).
-        let n_nodes = self.geom.n_nodes;
-        let order = (1..n_nodes).map(|k| (from + k) % n_nodes);
-        let mut invalid_slot: Option<usize> = None;
-        let mut shared_slot: Option<(usize, LineNum)> = None;
-        for k in order {
-            match self.nodes[k].am.accept_slot(line, self.accept_policy) {
-                Some(AcceptSlot::Invalid) if invalid_slot.is_none() => invalid_slot = Some(k),
-                Some(AcceptSlot::Shared(v)) if shared_slot.is_none() => shared_slot = Some((k, v)),
-                _ => {}
-            }
-            if invalid_slot.is_some() && shared_slot.is_some() {
-                break;
-            }
-        }
-        let choice = match self.accept_policy {
-            AcceptPolicy::InvalidThenShared | AcceptPolicy::FirstFit => invalid_slot
-                .map(|k| (k, None))
-                .or(shared_slot.map(|(k, v)| (k, Some(v)))),
-            AcceptPolicy::SharedThenInvalid => shared_slot
-                .map(|(k, v)| (k, Some(v)))
-                .or(invalid_slot.map(|k| (k, None))),
-        };
-
-        match choice {
-            Some((acceptor, sacrificed)) => {
-                if let Some(v) = sacrificed {
-                    self.nodes[acceptor].am.remove(v);
-                    let keeps = self.displace_private(acceptor, v);
-                    if !keeps {
-                        self.dir.remove_sharer(v, NodeId(acceptor as u16));
-                    }
-                    self.stats.shared_drops += 1;
-                }
-                // Sole AM copy at the acceptor; Owner if the displacing
-                // node retains SLC-only replicas, else Exclusive.
-                if from_keeps_slc {
-                    self.nodes[acceptor].am.insert(line, AmState::Owner);
-                    self.dir.set_owner(line, NodeId(acceptor as u16));
-                    self.dir.add_sharer(line, NodeId(from as u16));
-                } else {
-                    self.nodes[acceptor].am.insert(line, AmState::Exclusive);
-                    self.dir.set_owner(line, NodeId(acceptor as u16));
-                }
-                self.traffic.record_injection();
-                self.stats.injections += 1;
-                out.injected_to = Some(NodeId(acceptor as u16));
-            }
-            None => {
-                // Every slot machine-wide is responsible: OS page-out.
-                if from_keeps_slc {
-                    self.nodes[from].invalidate_private(line);
-                }
-                self.dir.remove(line);
-                self.paged_out.insert(line);
-                self.traffic.record_pageout();
-                self.stats.pageouts += 1;
-                out.pageout = true;
-            }
-        }
     }
 
     /// Verify every cross-structure invariant; returns a description of
@@ -502,10 +182,7 @@ impl CoherenceEngine {
                 if !st.is_valid() && is_registered && k == owner {
                     return Err(format!("{line:?}: owner {k} has no AM copy"));
                 }
-                if !st.is_valid()
-                    && is_registered
-                    && self.inclusive_hierarchy
-                {
+                if !st.is_valid() && is_registered && self.inclusive_hierarchy {
                     return Err(format!(
                         "{line:?}: node {k} registered but holds nothing (inclusive mode)"
                     ));
@@ -527,7 +204,10 @@ impl CoherenceEngine {
                     }
                     AmState::Owner | AmState::Exclusive => {
                         if info.owner.as_usize() != k {
-                            return Err(format!("{line:?}: node {k} {st} but dir owner {:?}", info.owner));
+                            return Err(format!(
+                                "{line:?}: node {k} {st} but dir owner {:?}",
+                                info.owner
+                            ));
                         }
                     }
                     AmState::Invalid => unreachable!(),
@@ -548,8 +228,7 @@ impl CoherenceEngine {
                         let info = self.dir.get(line).ok_or_else(|| {
                             format!("{line:?}: SLC-only copy in node {k} of dead line")
                         })?;
-                        let registered = info.owner.as_usize() == k
-                            || info.sharers & (1 << k) != 0;
+                        let registered = info.owner.as_usize() == k || info.sharers & (1 << k) != 0;
                         if !registered {
                             return Err(format!(
                                 "{line:?}: SLC-only copy in node {k} unregistered"
@@ -563,9 +242,7 @@ impl CoherenceEngine {
                         continue;
                     }
                     if st == SlcState::Modified && am_st != AmState::Exclusive {
-                        return Err(format!(
-                            "{line:?}: SLC {k}/{pidx} Modified but AM {am_st}"
-                        ));
+                        return Err(format!("{line:?}: SLC {k}/{pidx} Modified but AM {am_st}"));
                     }
                 }
             }
@@ -589,333 +266,5 @@ impl CoherenceEngine {
             t.2 += e;
         }
         t
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use coma_types::{MachineConfig, MemoryPressure};
-
-    /// Small machine: 4 procs; ws 64 KiB.
-    fn engine(ppn: usize, mp: MemoryPressure) -> CoherenceEngine {
-        let cfg = MachineConfig {
-            n_procs: 4,
-            procs_per_node: ppn,
-            memory_pressure: mp,
-            ..Default::default()
-        };
-        let geom = cfg.geometry(64 * 1024).unwrap();
-        CoherenceEngine::new(
-            geom,
-            VictimPolicy::SharedFirst,
-            AcceptPolicy::InvalidThenShared,
-            true,
-        )
-    }
-
-    #[test]
-    fn cold_read_allocates_locally() {
-        let mut e = engine(1, MemoryPressure::MP_50);
-        let out = e.read(ProcId(0), LineNum(5));
-        assert_eq!(out.level, Level::Am);
-        assert_eq!(e.stats.cold_allocs, 1);
-        assert_eq!(e.traffic.total_txns(), 0);
-        e.check_invariants().unwrap();
-        // Second read hits the FLC.
-        assert_eq!(e.read(ProcId(0), LineNum(5)).level, Level::Flc);
-    }
-
-    #[test]
-    fn remote_read_creates_replica_and_owner_downgrade() {
-        let mut e = engine(1, MemoryPressure::MP_50);
-        e.read(ProcId(0), LineNum(5)); // cold alloc at node 0 (Exclusive)
-        let out = e.read(ProcId(2), LineNum(5));
-        assert_eq!(out.level, Level::Remote);
-        assert_eq!(out.remote_node, Some(NodeId(0)));
-        assert_eq!(e.node(0).am.state(LineNum(5)), AmState::Owner);
-        assert_eq!(e.node(2).am.state(LineNum(5)), AmState::Shared);
-        assert_eq!(e.traffic.read_txns, 1);
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn same_page_second_line_fetched_from_home() {
-        let mut e = engine(1, MemoryPressure::MP_50);
-        e.read(ProcId(0), LineNum(0)); // page 0 → home node 0
-        // Proc 1 touches another line of page 0: remote materialization.
-        let out = e.read(ProcId(1), LineNum(1));
-        assert_eq!(out.level, Level::Remote);
-        assert_eq!(out.remote_node, Some(NodeId(0)));
-        assert_eq!(e.node(0).am.state(LineNum(1)), AmState::Owner);
-        assert_eq!(e.node(1).am.state(LineNum(1)), AmState::Shared);
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn clustering_prefetch_effect() {
-        // Two procs in the SAME node: the second reader hits the AM.
-        let mut e = engine(2, MemoryPressure::MP_50);
-        e.read(ProcId(2), LineNum(64)); // proc 2 = node 1; page 1 home = node 1
-        let out = e.read(ProcId(3), LineNum(64)); // same node
-        assert_eq!(out.level, Level::Am, "shared AM should satisfy peer read");
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn write_to_shared_upgrades_and_invalidates() {
-        let mut e = engine(1, MemoryPressure::MP_50);
-        e.read(ProcId(0), LineNum(5));
-        e.read(ProcId(1), LineNum(5));
-        e.read(ProcId(2), LineNum(5));
-        let out = e.write(ProcId(1), LineNum(5));
-        assert_eq!(out.level, Level::Remote);
-        assert!(out.upgrade);
-        assert_eq!(e.node(1).am.state(LineNum(5)), AmState::Exclusive);
-        assert_eq!(e.node(0).am.state(LineNum(5)), AmState::Invalid);
-        assert_eq!(e.node(2).am.state(LineNum(5)), AmState::Invalid);
-        assert_eq!(e.traffic.write_txns, 1);
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn write_miss_is_read_exclusive() {
-        let mut e = engine(1, MemoryPressure::MP_50);
-        e.read(ProcId(0), LineNum(5));
-        let out = e.write(ProcId(3), LineNum(5));
-        assert!(out.read_exclusive);
-        assert_eq!(out.remote_node, Some(NodeId(0)));
-        assert_eq!(e.node(3).am.state(LineNum(5)), AmState::Exclusive);
-        assert_eq!(e.node(0).am.state(LineNum(5)), AmState::Invalid);
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn local_write_after_own_read_is_cheap() {
-        let mut e = engine(1, MemoryPressure::MP_50);
-        e.read(ProcId(0), LineNum(5)); // Exclusive locally
-        let out = e.write(ProcId(0), LineNum(5));
-        assert_eq!(out.level, Level::Am);
-        assert!(!out.used_bus());
-        // And a further write is an FLC/SLC hit.
-        assert_eq!(e.write(ProcId(0), LineNum(5)).level, Level::Flc);
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn dirty_peer_supplies_within_node() {
-        let mut e = engine(2, MemoryPressure::MP_50);
-        e.write(ProcId(0), LineNum(7)); // proc 0 (node 0) owns dirty
-        let out = e.read(ProcId(1), LineNum(7)); // same node
-        assert_eq!(out.level, Level::PeerSlc);
-        assert_eq!(out.peer_slc, Some(0));
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn barrier_style_sharing_and_invalidation_storm() {
-        let mut e = engine(1, MemoryPressure::MP_50);
-        let flag = LineNum(100);
-        e.write(ProcId(0), flag);
-        for p in 1..4 {
-            assert_eq!(e.read(ProcId(p), flag).level, Level::Remote);
-        }
-        // Releaser writes again: all replicas invalidated.
-        let out = e.write(ProcId(0), flag);
-        assert!(out.upgrade);
-        for p in 1..4u16 {
-            assert_eq!(e.read(ProcId(p), flag).level, Level::Remote);
-        }
-        e.check_invariants().unwrap();
-    }
-
-    /// Tiny machine with a handful of AM slots per node to force
-    /// replacements: ws 16 KiB at MP 87.5% → per-node AM 4.6 KiB ≈ 73
-    /// lines… still big; instead use 4 procs, MP 87.5 and a working set
-    /// sized so each AM holds few sets.
-    fn tiny_engine() -> CoherenceEngine {
-        let cfg = MachineConfig {
-            n_procs: 4,
-            procs_per_node: 1,
-            memory_pressure: MemoryPressure::MP_87,
-            slc_ws_ratio: 128,
-            ..Default::default()
-        };
-        // ws = 128 KiB → total AM ≈ 146 KiB → 36.5 KiB/node ≈ 585 lines.
-        let geom = cfg.geometry(128 * 1024).unwrap();
-        CoherenceEngine::new(
-            geom,
-            VictimPolicy::SharedFirst,
-            AcceptPolicy::InvalidThenShared,
-            true,
-        )
-    }
-
-    #[test]
-    fn replacement_pressure_triggers_injections_not_losses() {
-        let mut e = tiny_engine();
-        let total_lines = 128 * 1024 / 64; // 2048 lines, AM total ~2340
-        // One processor writes the whole working set: its node AM (~585
-        // lines) must inject the overflow to the other nodes.
-        for l in 0..total_lines {
-            e.write(ProcId(0), LineNum(l));
-        }
-        assert!(e.stats.injections > 0, "no injections under pressure");
-        e.check_invariants().unwrap();
-        // Every line is still live somewhere (no pageouts needed: the
-        // machine has capacity for the whole working set).
-        assert_eq!(e.stats.pageouts, 0);
-        assert_eq!(e.directory().len(), total_lines as usize);
-    }
-
-    #[test]
-    fn ownership_migrates_to_replica_when_possible() {
-        let mut e = tiny_engine();
-        // Make a line widely shared, then force the owner to evict it by
-        // filling the owner's AM set with conflicting writes.
-        let line = LineNum(0);
-        e.read(ProcId(0), line); // owner at node 0
-        e.read(ProcId(1), line); // replica at node 1
-        let sets = e.geometry().am_sets;
-        let assoc = e.geometry().am_assoc as u64;
-        // Touch enough conflicting lines in node 0 to evict line 0.
-        for k in 1..=assoc + 1 {
-            e.write(ProcId(0), LineNum(k * sets));
-        }
-        assert!(
-            e.stats.ownership_migrations > 0,
-            "expected ownership migration"
-        );
-        // The line must still be live, now owned by node 1.
-        let info = e.directory().get(line).expect("line lost");
-        assert_eq!(info.owner, NodeId(1));
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn census_tracks_states() {
-        let mut e = engine(1, MemoryPressure::MP_50);
-        e.read(ProcId(0), LineNum(1));
-        e.read(ProcId(1), LineNum(1));
-        e.write(ProcId(2), LineNum(2));
-        let (s, o, ex) = e.am_census();
-        assert_eq!(s, 1);
-        assert_eq!(o, 1);
-        assert_eq!(ex, 1);
-    }
-
-    #[test]
-    fn determinism() {
-        let run = || {
-            let mut e = engine(2, MemoryPressure::MP_87);
-            let mut rng = coma_types::Rng64::new(99);
-            for _ in 0..5_000 {
-                let p = ProcId(rng.below(4) as u16);
-                let l = LineNum(rng.below(1024));
-                if rng.chance(0.3) {
-                    e.write(p, l);
-                } else {
-                    e.read(p, l);
-                }
-            }
-            (e.traffic, e.stats)
-        };
-        assert_eq!(run(), run());
-    }
-
-    fn non_inclusive_engine(mp: MemoryPressure) -> CoherenceEngine {
-        let cfg = MachineConfig {
-            n_procs: 4,
-            procs_per_node: 1,
-            memory_pressure: mp,
-            ..Default::default()
-        };
-        let geom = cfg.geometry(128 * 1024).unwrap();
-        CoherenceEngine::with_inclusion(
-            geom,
-            VictimPolicy::SharedFirst,
-            AcceptPolicy::InvalidThenShared,
-            true,
-            false,
-        )
-    }
-
-    #[test]
-    fn non_inclusive_slc_copy_survives_am_replacement() {
-        let mut e = non_inclusive_engine(MemoryPressure::MP_87);
-        let line = LineNum(0);
-        e.read(ProcId(0), line); // Exclusive at node 0
-        e.read(ProcId(1), line); // Shared replica at node 1 (and its SLC)
-        // Conflict node 1's AM set until the replica is displaced.
-        let sets = e.geometry().am_sets;
-        let assoc = e.geometry().am_assoc as u64;
-        for k in 1..=assoc + 1 {
-            e.write(ProcId(1), LineNum(k * sets));
-        }
-        // The AM replica is gone but the SLC copy still serves reads.
-        assert_eq!(e.node(1).am.state(line), AmState::Invalid);
-        let out = e.read(ProcId(1), line);
-        assert!(
-            matches!(out.level, Level::Slc | Level::Flc),
-            "SLC-only copy should satisfy the read, got {:?}",
-            out.level
-        );
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn non_inclusive_slc_only_copy_still_gets_invalidated() {
-        let mut e = non_inclusive_engine(MemoryPressure::MP_87);
-        let line = LineNum(0);
-        e.read(ProcId(0), line);
-        e.read(ProcId(1), line);
-        let sets = e.geometry().am_sets;
-        let assoc = e.geometry().am_assoc as u64;
-        for k in 1..=assoc + 1 {
-            e.write(ProcId(1), LineNum(k * sets));
-        }
-        // Writer elsewhere must kill the SLC-only replica (coherence!).
-        e.write(ProcId(0), line);
-        let out = e.read(ProcId(1), line);
-        assert_eq!(out.level, Level::Remote, "stale SLC copy served a read");
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn non_inclusive_invariants_under_storm() {
-        let mut e = non_inclusive_engine(MemoryPressure::MP_87);
-        let mut rng = coma_types::Rng64::new(17);
-        for i in 0..20_000 {
-            let p = ProcId(rng.below(4) as u16);
-            let l = LineNum(rng.below(1024));
-            if rng.chance(0.4) {
-                e.write(p, l);
-            } else {
-                e.read(p, l);
-            }
-            if i % 2_000 == 0 {
-                e.check_invariants().unwrap();
-            }
-        }
-        e.check_invariants().unwrap();
-    }
-
-    #[test]
-    fn invariants_hold_under_random_storm() {
-        let mut e = engine(2, MemoryPressure::MP_87);
-        let mut rng = coma_types::Rng64::new(7);
-        for i in 0..20_000 {
-            let p = ProcId(rng.below(4) as u16);
-            let l = LineNum(rng.below(1024));
-            if rng.chance(0.4) {
-                e.write(p, l);
-            } else {
-                e.read(p, l);
-            }
-            if i % 2_000 == 0 {
-                e.check_invariants().unwrap();
-            }
-        }
-        e.check_invariants().unwrap();
     }
 }

@@ -1,0 +1,110 @@
+//! The read path: FLC → own SLC → dirty peer SLC → attraction memory →
+//! global bus, with the private-cache fill bookkeeping on the way back.
+
+use super::*;
+
+impl CoherenceEngine {
+    /// Perform a processor read of `line`.
+    pub fn read(&mut self, proc: ProcId, line: LineNum) -> Outcome {
+        let n = self.node_of(proc);
+        let pidx = proc.index_in_node(self.geom.procs_per_node);
+
+        if self.nodes[n].flcs[pidx].read_hit(line) {
+            return Outcome::at(Level::Flc);
+        }
+        let slc_state = self.nodes[n].slcs[pidx].lookup(line);
+        if slc_state.is_valid() {
+            self.nodes[n].flcs[pidx].fill(line, slc_state == SlcState::Modified);
+            return Outcome::at(Level::Slc);
+        }
+
+        let mut out;
+        if self.intra_node_transfers {
+            if let Some(peer) = self.nodes[n].dirty_peer(line, pidx) {
+                // Dirty intra-node supply: peer downgrades, data written
+                // back into the AM (which must hold the line Exclusive).
+                self.nodes[n].slcs[peer].downgrade(line);
+                self.nodes[n].flcs[peer].downgrade(line);
+                debug_assert_eq!(self.nodes[n].am.state(line), AmState::Exclusive);
+                out = Outcome::at(Level::PeerSlc);
+                out.peer_slc = Some(peer);
+                self.fill_private_read(n, pidx, line, &mut out);
+                return out;
+            }
+        } else if let Some(peer) = self.nodes[n].dirty_peer(line, pidx) {
+            // Without direct transfers the peer writes back first and the
+            // AM supplies; functionally identical, timed as an AM hit.
+            self.nodes[n].slcs[peer].downgrade(line);
+            self.nodes[n].flcs[peer].downgrade(line);
+        }
+
+        if self.nodes[n].am.touch(line).is_valid() {
+            out = Outcome::at(Level::Am);
+            self.fill_private_read(n, pidx, line, &mut out);
+            return out;
+        }
+
+        // Node miss: the access goes on the global bus.
+        out = self.global_read(n, line);
+        self.fill_private_read(n, pidx, line, &mut out);
+        out
+    }
+
+    /// Fill SLC (Shared) + FLC after a read serviced at/under the AM.
+    fn fill_private_read(&mut self, n: usize, pidx: usize, line: LineNum, out: &mut Outcome) {
+        if let Some((evicted, st)) = self.nodes[n].slcs[pidx].insert(line, SlcState::Shared) {
+            if st == SlcState::Modified {
+                // Write-back into the AM (data only; AM keeps Exclusive).
+                out.slc_writeback = true;
+            }
+            self.nodes[n].flcs[pidx].invalidate(evicted);
+            self.retire_slc_only_sharer(n, evicted);
+        }
+        self.nodes[n].flcs[pidx].fill(line, false);
+    }
+
+    /// Remote read: supply a Shared copy into node `n`.
+    fn global_read(&mut self, n: usize, line: LineNum) -> Outcome {
+        let mut out = Outcome::at(Level::Remote);
+        match self.dir.get(line) {
+            Some(info) => {
+                let owner = info.owner.as_usize();
+                debug_assert_ne!(owner, n, "node-missing line owned locally");
+                // Any dirty private copy in the owner node is written back.
+                self.nodes[owner].downgrade_private(line);
+                if self.nodes[owner].am.state(line) == AmState::Exclusive {
+                    self.nodes[owner].am.set_state(line, AmState::Owner);
+                }
+                self.fill_am(n, line, AmState::Shared, &mut out);
+                self.dir.add_sharer(line, NodeId(n as u16));
+                out.remote_node = Some(NodeId(owner as u16));
+                self.emit(ProtocolEvent::ReadFill);
+            }
+            None => {
+                let home = self.home_of(line, n);
+                out.pagein = self.paged_out.remove(&line);
+                if out.pagein {
+                    self.emit(ProtocolEvent::ColdAlloc);
+                }
+                if home == n {
+                    // Local on-demand materialization: no bus traffic.
+                    self.fill_am(n, line, AmState::Exclusive, &mut out);
+                    self.dir.insert_sole(line, NodeId(n as u16));
+                    self.emit(ProtocolEvent::ColdAlloc);
+                    out.level = Level::Am;
+                } else {
+                    // The page frame lives at `home`: materialize the
+                    // responsible copy there and supply a replica here.
+                    self.fill_am(home, line, AmState::Owner, &mut out);
+                    self.dir.insert_sole(line, NodeId(home as u16));
+                    self.fill_am(n, line, AmState::Shared, &mut out);
+                    self.dir.add_sharer(line, NodeId(n as u16));
+                    self.emit(ProtocolEvent::ColdAlloc);
+                    out.remote_node = Some(NodeId(home as u16));
+                    self.emit(ProtocolEvent::ReadFill);
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,149 @@
+//! Replacement: what happens when an attraction-memory set is full.
+//! Shared replicas are silently dropped; a displaced responsible copy
+//! enters the paper's accept-based injection protocol — ownership
+//! migration to an existing replica if one exists, otherwise snoop
+//! arbitration for a receiver, otherwise OS page-out.
+
+use super::*;
+
+impl CoherenceEngine {
+    /// An AM entry is being displaced (replacement, not coherence). Under
+    /// inclusion the private copies die with it; without inclusion clean
+    /// SLC replicas survive and the node remains a sharer. Returns true
+    /// if the node keeps (SLC-only) copies.
+    fn displace_private(&mut self, node_idx: usize, line: LineNum) -> bool {
+        if self.inclusive_hierarchy {
+            self.nodes[node_idx].invalidate_private(line);
+            return false;
+        }
+        // Dirty data must not be lost: fold it back before the AM entry
+        // goes (the write-back is part of the replacement).
+        self.nodes[node_idx].downgrade_private(line);
+        self.slc_holds(node_idx, line)
+    }
+
+    /// An SLC eviction may have destroyed a node's last copy of a line it
+    /// held only in its private caches (non-inclusive hierarchies): the
+    /// node then stops being a sharer.
+    pub(super) fn retire_slc_only_sharer(&mut self, n: usize, line: LineNum) {
+        if !self.inclusive_hierarchy
+            && !self.nodes[n].am.state(line).is_valid()
+            && !self.slc_holds(n, line)
+        {
+            self.dir.remove_sharer(line, NodeId(n as u16));
+        }
+    }
+
+    /// Make room for and insert `line` into node `node_idx`'s AM.
+    pub(super) fn fill_am(
+        &mut self,
+        node_idx: usize,
+        line: LineNum,
+        state: AmState,
+        out: &mut Outcome,
+    ) {
+        match self.nodes[node_idx].am.make_room(line) {
+            Victim::FreeSlot => {}
+            Victim::DropShared(l) => {
+                self.nodes[node_idx].am.remove(l);
+                let keeps = self.displace_private(node_idx, l);
+                if !keeps {
+                    self.dir.remove_sharer(l, NodeId(node_idx as u16));
+                }
+                self.emit(ProtocolEvent::SharedDrop);
+                out.dropped_shared = true;
+            }
+            Victim::Inject(l, _) => {
+                self.nodes[node_idx].am.remove(l);
+                let keeps = self.displace_private(node_idx, l);
+                self.inject(node_idx, l, keeps, out);
+            }
+        }
+        self.nodes[node_idx].am.insert(line, state);
+        out.am_filled = true;
+    }
+
+    /// Relocate a displaced responsible copy (the accept-based strategy).
+    /// `from_keeps_slc` marks that the displacing node retains SLC-only
+    /// replicas (non-inclusive hierarchies).
+    fn inject(&mut self, from: usize, line: LineNum, from_keeps_slc: bool, out: &mut Outcome) {
+        // 1. Ownership migration: a Shared replica anywhere can simply
+        //    take over responsibility — no data slot is consumed.
+        if let Some(info) = self.dir.get(line) {
+            debug_assert_eq!(info.owner.as_usize(), from, "injecting non-owned line");
+            if info.sharers != 0 {
+                let new_owner = info.sharer_nodes().next().expect("sharers non-empty");
+                self.nodes[new_owner.as_usize()]
+                    .am
+                    .set_state(line, AmState::Owner);
+                self.dir.set_owner(line, new_owner);
+                if from_keeps_slc {
+                    self.dir.add_sharer(line, NodeId(from as u16));
+                }
+                self.emit(ProtocolEvent::OwnershipMigration);
+                out.ownership_migrated = true;
+                return;
+            }
+        }
+
+        // 2. Snoop arbitration for a receiver, scanning nodes after the
+        //    injector (deterministic round-robin).
+        let n_nodes = self.geom.n_nodes;
+        let order = (1..n_nodes).map(|k| (from + k) % n_nodes);
+        let mut invalid_slot: Option<usize> = None;
+        let mut shared_slot: Option<(usize, LineNum)> = None;
+        for k in order {
+            match self.nodes[k].am.accept_slot(line, self.accept_policy) {
+                Some(AcceptSlot::Invalid) if invalid_slot.is_none() => invalid_slot = Some(k),
+                Some(AcceptSlot::Shared(v)) if shared_slot.is_none() => shared_slot = Some((k, v)),
+                _ => {}
+            }
+            if invalid_slot.is_some() && shared_slot.is_some() {
+                break;
+            }
+        }
+        let choice = match self.accept_policy {
+            AcceptPolicy::InvalidThenShared | AcceptPolicy::FirstFit => invalid_slot
+                .map(|k| (k, None))
+                .or(shared_slot.map(|(k, v)| (k, Some(v)))),
+            AcceptPolicy::SharedThenInvalid => shared_slot
+                .map(|(k, v)| (k, Some(v)))
+                .or(invalid_slot.map(|k| (k, None))),
+        };
+
+        match choice {
+            Some((acceptor, sacrificed)) => {
+                if let Some(v) = sacrificed {
+                    self.nodes[acceptor].am.remove(v);
+                    let keeps = self.displace_private(acceptor, v);
+                    if !keeps {
+                        self.dir.remove_sharer(v, NodeId(acceptor as u16));
+                    }
+                    self.emit(ProtocolEvent::SharedDrop);
+                }
+                // Sole AM copy at the acceptor; Owner if the displacing
+                // node retains SLC-only replicas, else Exclusive.
+                if from_keeps_slc {
+                    self.nodes[acceptor].am.insert(line, AmState::Owner);
+                    self.dir.set_owner(line, NodeId(acceptor as u16));
+                    self.dir.add_sharer(line, NodeId(from as u16));
+                } else {
+                    self.nodes[acceptor].am.insert(line, AmState::Exclusive);
+                    self.dir.set_owner(line, NodeId(acceptor as u16));
+                }
+                self.emit(ProtocolEvent::Injection);
+                out.injected_to = Some(NodeId(acceptor as u16));
+            }
+            None => {
+                // Every slot machine-wide is responsible: OS page-out.
+                if from_keeps_slc {
+                    self.nodes[from].invalidate_private(line);
+                }
+                self.dir.remove(line);
+                self.paged_out.insert(line);
+                self.emit(ProtocolEvent::Pageout);
+                out.pageout = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The write path: ownership acquisition. A write that misses the
+//! private caches silences the node-local peers, then either upgrades an
+//! existing copy (invalidation broadcast) or fetches the line with
+//! ownership (read-exclusive).
+
+use super::*;
+
+impl CoherenceEngine {
+    /// Perform a processor write of `line` (ownership acquisition; the
+    /// store data itself is not modeled).
+    pub fn write(&mut self, proc: ProcId, line: LineNum) -> Outcome {
+        let n = self.node_of(proc);
+        let pidx = proc.index_in_node(self.geom.procs_per_node);
+
+        if self.nodes[n].flcs[pidx].write_hit(line) {
+            return Outcome::at(Level::Flc);
+        }
+        if self.nodes[n].slcs[pidx].lookup(line) == SlcState::Modified {
+            self.nodes[n].flcs[pidx].fill(line, true);
+            return Outcome::at(Level::Slc);
+        }
+
+        // Ownership must be obtained: first silence the node-local peers.
+        self.nodes[n].invalidate_peers(line, pidx);
+
+        let mut out = match self.nodes[n].am.touch(line) {
+            AmState::Exclusive => Outcome::at(Level::Am),
+            AmState::Owner | AmState::Shared => self.global_upgrade(n, line),
+            AmState::Invalid => self.global_read_exclusive(n, line),
+        };
+        self.fill_private_write(n, pidx, line, &mut out);
+        out
+    }
+
+    /// Fill SLC (Modified) + FLC after a write obtained ownership.
+    fn fill_private_write(&mut self, n: usize, pidx: usize, line: LineNum, out: &mut Outcome) {
+        if let Some((evicted, st)) = self.nodes[n].slcs[pidx].insert(line, SlcState::Modified) {
+            if st == SlcState::Modified {
+                out.slc_writeback = true;
+            }
+            self.nodes[n].flcs[pidx].invalidate(evicted);
+            self.retire_slc_only_sharer(n, evicted);
+        }
+        self.nodes[n].flcs[pidx].fill(line, true);
+    }
+
+    /// Write upgrade: the node already holds the line (Owner or Shared);
+    /// invalidate every other copy and end Exclusive.
+    fn global_upgrade(&mut self, n: usize, line: LineNum) -> Outcome {
+        let mut out = Outcome::at(Level::Remote);
+        let info = self.dir.get(line).expect("valid AM line not in directory");
+        for sh in info.sharer_nodes() {
+            let s = sh.as_usize();
+            if s != n {
+                self.nodes[s].am.remove(line);
+                self.nodes[s].invalidate_private(line);
+            }
+        }
+        let owner = info.owner.as_usize();
+        if owner != n {
+            self.nodes[owner].am.remove(line);
+            self.nodes[owner].invalidate_private(line);
+        }
+        self.dir.set_owner(line, NodeId(n as u16));
+        self.dir.clear_sharers(line);
+        self.nodes[n].am.set_state(line, AmState::Exclusive);
+        out.upgrade = true;
+        self.emit(ProtocolEvent::Upgrade);
+        out
+    }
+
+    /// Write miss: fetch the line with ownership (read-exclusive),
+    /// invalidating every existing copy.
+    fn global_read_exclusive(&mut self, n: usize, line: LineNum) -> Outcome {
+        let mut out = Outcome::at(Level::Remote);
+        match self.dir.get(line) {
+            Some(info) => {
+                for sh in info.sharer_nodes() {
+                    let s = sh.as_usize();
+                    self.nodes[s].am.remove(line);
+                    self.nodes[s].invalidate_private(line);
+                }
+                let owner = info.owner.as_usize();
+                debug_assert_ne!(owner, n);
+                self.nodes[owner].am.remove(line);
+                self.nodes[owner].invalidate_private(line);
+                self.dir.remove(line);
+                self.fill_am(n, line, AmState::Exclusive, &mut out);
+                self.dir.insert_sole(line, NodeId(n as u16));
+                out.read_exclusive = true;
+                out.remote_node = Some(NodeId(owner as u16));
+                self.emit(ProtocolEvent::ReadExclusive);
+            }
+            None => {
+                let home = self.home_of(line, n);
+                out.pagein = self.paged_out.remove(&line);
+                self.fill_am(n, line, AmState::Exclusive, &mut out);
+                self.dir.insert_sole(line, NodeId(n as u16));
+                self.emit(ProtocolEvent::ColdAlloc);
+                if home == n {
+                    out.level = Level::Am; // local cold allocation
+                } else {
+                    // Data pulled from the home node's page frame.
+                    out.read_exclusive = true;
+                    out.remote_node = Some(NodeId(home as u16));
+                    self.emit(ProtocolEvent::ReadExclusive);
+                }
+            }
+        }
+        out
+    }
+}

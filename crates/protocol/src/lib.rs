@@ -25,12 +25,15 @@
 
 pub mod directory;
 pub mod engine;
+pub mod memory;
 pub mod node;
 pub mod numa;
 pub mod outcome;
 
+pub use coma_stats::ProtocolCounters;
 pub use directory::Directory;
-pub use engine::{CoherenceEngine, ProtocolStats};
+pub use engine::CoherenceEngine;
+pub use memory::MemorySystem;
 pub use node::NodeState;
 pub use numa::{BaselineEngine, BaselineKind};
 pub use outcome::Outcome;

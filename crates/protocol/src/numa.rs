@@ -21,7 +21,7 @@
 use crate::directory::LineHasher;
 use crate::outcome::Outcome;
 use coma_cache::{Flc, Slc, SlcState};
-use coma_stats::{Level, Traffic};
+use coma_stats::{CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic};
 use coma_types::{LineNum, MachineGeometry, NodeId, ProcId, LINE_SHIFT, PAGE_SHIFT};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
@@ -55,10 +55,9 @@ pub struct BaselineEngine {
     flcs: Vec<Flc>,
     pages: HashMap<u64, NodeId, BuildHasherDefault<LineHasher>>,
     dir: HashMap<LineNum, DirEntry, BuildHasherDefault<LineHasher>>,
-    /// Interconnect traffic (same decomposition as the COMA bus).
-    pub traffic: Traffic,
-    /// Dirty write-backs to a remote home (NUMA's replacement analogue).
-    pub remote_writebacks: u64,
+    /// Where every protocol event lands: traffic + counters (the same
+    /// decomposition as the COMA bus).
+    sink: CounterSink,
 }
 
 impl BaselineEngine {
@@ -72,13 +71,31 @@ impl BaselineEngine {
             flcs: (0..geom.n_procs).map(|_| Flc::new(geom.flc_sets)).collect(),
             pages: HashMap::default(),
             dir: HashMap::default(),
-            traffic: Traffic::default(),
-            remote_writebacks: 0,
+            sink: CounterSink::default(),
         }
     }
 
     pub fn geometry(&self) -> &MachineGeometry {
         &self.geom
+    }
+
+    /// Interconnect traffic, decomposed as on the COMA bus.
+    #[inline]
+    pub fn traffic(&self) -> &Traffic {
+        &self.sink.traffic
+    }
+
+    /// Protocol event counters (only `remote_writebacks` is ever nonzero
+    /// for the baselines).
+    #[inline]
+    pub fn counters(&self) -> &ProtocolCounters {
+        &self.sink.counters
+    }
+
+    /// Dirty write-backs to a remote home (NUMA's replacement analogue).
+    #[inline]
+    pub fn remote_writebacks(&self) -> u64 {
+        self.sink.counters.remote_writebacks
     }
 
     /// Home node of a line (first touch allocates the page).
@@ -118,8 +135,7 @@ impl BaselineEngine {
                 let node = me.node(self.geom.procs_per_node);
                 let home = self.home_of(victim, node);
                 if self.supply_level(home, node) == Level::Remote {
-                    self.traffic.record_injection(); // data carried to home
-                    self.remote_writebacks += 1;
+                    self.sink.record(ProtocolEvent::RemoteWriteback);
                 }
                 out.slc_writeback = true;
             }
@@ -183,7 +199,7 @@ impl BaselineEngine {
         let mut out = Outcome::at(level);
         if level == Level::Remote {
             out.remote_node = Some(home);
-            self.traffic.record_read_fill();
+            self.sink.record(ProtocolEvent::ReadFill);
         }
         let e = self.dir.get_mut(&line).expect("entry exists");
         e.readers |= 1 << proc.0;
@@ -215,14 +231,14 @@ impl BaselineEngine {
             out.remote_node = Some(home);
             if had_copy {
                 out.upgrade = true;
-                self.traffic.record_upgrade();
+                self.sink.record(ProtocolEvent::Upgrade);
             } else {
                 out.read_exclusive = true;
-                self.traffic.record_read_exclusive();
+                self.sink.record(ProtocolEvent::ReadExclusive);
             }
         } else if had_others {
             // Local home but other caches invalidated: command traffic.
-            self.traffic.record_upgrade();
+            self.sink.record(ProtocolEvent::Upgrade);
             out.upgrade = true;
         }
         let e = self.dir.get_mut(&line).expect("entry exists");
@@ -245,9 +261,7 @@ impl BaselineEngine {
                 }
             }
             for p in 0..16u16 {
-                if e.readers & (1 << p) != 0
-                    && !self.slcs[p as usize].peek(*line).is_valid()
-                {
+                if e.readers & (1 << p) != 0 && !self.slcs[p as usize].peek(*line).is_valid() {
                     return Err(format!("{line:?}: reader P{p} has no copy"));
                 }
             }
@@ -310,7 +324,7 @@ mod tests {
         let out = e.read(ProcId(2), LineNum(5));
         assert_eq!(out.level, Level::Remote);
         assert_eq!(out.remote_node, Some(NodeId(0)));
-        assert_eq!(e.traffic.read_txns, 1);
+        assert_eq!(e.traffic().read_txns, 1);
         e.check_invariants().unwrap();
     }
 
@@ -366,7 +380,7 @@ mod tests {
         // writeback happened if capacity was exceeded.
         e.check_invariants().unwrap();
         if slc_lines < 64 {
-            assert!(e.remote_writebacks > 0);
+            assert!(e.remote_writebacks() > 0);
         }
     }
 
@@ -385,7 +399,7 @@ mod tests {
                 }
             }
             e.check_invariants().unwrap();
-            e.traffic
+            *e.traffic()
         };
         assert_eq!(run(BaselineKind::Numa), run(BaselineKind::Numa));
         assert_eq!(run(BaselineKind::Uma), run(BaselineKind::Uma));

@@ -4,9 +4,9 @@
 use crate::resources::MachineResources;
 use crate::sync::{BarrierState, LockState};
 use coma_cache::{AcceptPolicy, VictimPolicy};
-use coma_protocol::{BaselineEngine, BaselineKind, CoherenceEngine, Outcome};
+use coma_protocol::{BaselineEngine, BaselineKind, CoherenceEngine, MemorySystem};
 use coma_stats::{AccessCounts, ExecBreakdown, Level, SimReport};
-use coma_timing::{EventQueue, WriteBuffer};
+use coma_timing::{EventQueue, IdealInterconnect, Interconnect, SnoopingBus, WriteBuffer};
 use coma_types::{
     time::instr_time, Addr, ConfigError, LatencyConfig, MachineConfig, Nanos, ProcId,
 };
@@ -24,6 +24,25 @@ pub enum MemoryModel {
     Uma,
 }
 
+/// Which global interconnect backend the machine uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum InterconnectKind {
+    /// The paper's single snooping bus (FIFO arbitration).
+    #[default]
+    SnoopingBus,
+    /// A contention-free medium: same latency, infinite bandwidth.
+    Ideal,
+}
+
+impl InterconnectKind {
+    fn build(self) -> Box<dyn Interconnect> {
+        match self {
+            InterconnectKind::SnoopingBus => Box::new(SnoopingBus::new()),
+            InterconnectKind::Ideal => Box::new(IdealInterconnect::new()),
+        }
+    }
+}
+
 /// Everything that parameterizes one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimParams {
@@ -32,6 +51,7 @@ pub struct SimParams {
     pub victim_policy: VictimPolicy,
     pub accept_policy: AcceptPolicy,
     pub memory_model: MemoryModel,
+    pub interconnect: InterconnectKind,
 }
 
 impl Default for SimParams {
@@ -42,35 +62,14 @@ impl Default for SimParams {
             victim_policy: VictimPolicy::SharedFirst,
             accept_policy: AcceptPolicy::InvalidThenShared,
             memory_model: MemoryModel::Coma,
-        }
-    }
-}
-
-/// The machine's memory system: COMA or one of the baselines.
-enum Memory {
-    Coma(CoherenceEngine),
-    Baseline(BaselineEngine),
-}
-
-impl Memory {
-    fn read(&mut self, p: ProcId, line: coma_types::LineNum) -> Outcome {
-        match self {
-            Memory::Coma(e) => e.read(p, line),
-            Memory::Baseline(e) => e.read(p, line),
-        }
-    }
-
-    fn write(&mut self, p: ProcId, line: coma_types::LineNum) -> Outcome {
-        match self {
-            Memory::Coma(e) => e.write(p, line),
-            Memory::Baseline(e) => e.write(p, line),
+            interconnect: InterconnectKind::SnoopingBus,
         }
     }
 }
 
 /// A fully assembled machine + workload, ready to run.
 pub struct Simulation {
-    engine: Memory,
+    mem: Box<dyn MemorySystem>,
     res: MachineResources,
     lat: LatencyConfig,
     streams: Vec<Box<dyn OpStream>>,
@@ -93,6 +92,25 @@ impl Simulation {
     /// Assemble a machine for `workload` under `params`.
     pub fn new(workload: Workload, params: &SimParams) -> Result<Self, ConfigError> {
         let geom = params.machine.geometry(workload.ws_bytes)?;
+        let mem: Box<dyn MemorySystem> = match params.memory_model {
+            MemoryModel::Coma => Box::new(CoherenceEngine::with_inclusion(
+                geom,
+                params.victim_policy,
+                params.accept_policy,
+                params.machine.intra_node_transfers,
+                params.machine.inclusive_hierarchy,
+            )),
+            MemoryModel::Numa => Box::new(BaselineEngine::new(geom, BaselineKind::Numa)),
+            MemoryModel::Uma => Box::new(BaselineEngine::new(geom, BaselineKind::Uma)),
+        };
+        Ok(Self::with_memory(workload, params, mem))
+    }
+
+    /// Assemble a machine around an externally constructed memory
+    /// system. This is how a new architecture (or an instrumented
+    /// engine) runs under the standard driver without touching it.
+    pub fn with_memory(workload: Workload, params: &SimParams, mem: Box<dyn MemorySystem>) -> Self {
+        let geom = *mem.geometry();
         assert_eq!(
             workload.streams.len(),
             geom.n_procs,
@@ -101,29 +119,16 @@ impl Simulation {
             geom.n_procs
         );
         let n_procs = geom.n_procs;
-        let engine = match params.memory_model {
-            MemoryModel::Coma => Memory::Coma(CoherenceEngine::with_inclusion(
-                geom,
-                params.victim_policy,
-                params.accept_policy,
-                params.machine.intra_node_transfers,
-                params.machine.inclusive_hierarchy,
-            )),
-            MemoryModel::Numa => {
-                Memory::Baseline(BaselineEngine::new(geom, BaselineKind::Numa))
-            }
-            MemoryModel::Uma => {
-                Memory::Baseline(BaselineEngine::new(geom, BaselineKind::Uma))
-            }
-        };
-        let res = MachineResources::new(&geom);
+        let res = MachineResources::with_interconnect(&geom, params.interconnect.build());
         let mut queue = EventQueue::new();
         for p in 0..n_procs {
             queue.push(0, ProcId(p as u16));
         }
-        let lock_addrs = (0..workload.n_locks).map(|i| workload.lock_addr(i)).collect();
-        Ok(Simulation {
-            engine,
+        let lock_addrs = (0..workload.n_locks)
+            .map(|i| workload.lock_addr(i))
+            .collect();
+        Simulation {
+            mem,
             res,
             lat: params.latency.clone(),
             wbs: (0..n_procs)
@@ -142,7 +147,7 @@ impl Simulation {
             finish: vec![None; n_procs],
             n_done: 0,
             n_procs,
-        })
+        }
     }
 
     fn bucket(&mut self, p: usize, level: Level, ns: Nanos) {
@@ -157,7 +162,7 @@ impl Simulation {
 
     /// Timed protocol read with stall accounting.
     fn do_read(&mut self, p: ProcId, addr: Addr, t: Nanos) -> Nanos {
-        let out = self.engine.read(p, addr.line());
+        let out = self.mem.read(p, addr.line());
         let done = self.res.time_access(t, p, &out, &self.lat);
         self.counts.record_read(out.level);
         self.read_latency.record(done - t);
@@ -167,7 +172,7 @@ impl Simulation {
 
     /// Timed protocol write (blocking — used for sync lines).
     fn do_write(&mut self, p: ProcId, addr: Addr, t: Nanos) -> Nanos {
-        let out = self.engine.write(p, addr.line());
+        let out = self.mem.write(p, addr.line());
         let done = self.res.time_access(t, p, &out, &self.lat);
         self.counts.record_write(out.level);
         self.bucket(p.as_usize(), out.level, done - t);
@@ -230,7 +235,7 @@ impl Simulation {
             Op::Write(a) => {
                 self.breakdown[pi].busy_ns += 1;
                 let issue = t + 1;
-                let out = self.engine.write(p, a.line());
+                let out = self.mem.write(p, a.line());
                 let completes = self.res.time_access(issue, p, &out, &self.lat);
                 self.counts.record_write(out.level);
                 // Release consistency: the processor stalls only if the
@@ -288,10 +293,7 @@ impl Simulation {
     /// machine state, and produce the report.
     pub fn run_checked(mut self) -> Result<SimReport, String> {
         self.run_loop();
-        match &self.engine {
-            Memory::Coma(e) => e.check_invariants()?,
-            Memory::Baseline(e) => e.check_invariants()?,
-        }
+        self.mem.check_invariants()?;
         Ok(self.into_report())
     }
 
@@ -308,32 +310,32 @@ impl Simulation {
             self.n_done, self.n_procs
         );
         let exec_time_ns = self.finish.iter().map(|f| f.unwrap()).max().unwrap_or(0);
-        let (traffic, stats) = match &self.engine {
-            Memory::Coma(e) => (e.traffic, e.stats),
-            Memory::Baseline(e) => (e.traffic, Default::default()),
-        };
+        let traffic = *self.mem.traffic();
+        let counters = *self.mem.counters();
         SimReport {
             exec_time_ns,
             counts: self.counts,
             traffic,
             per_proc: self.breakdown,
-            injections: stats.injections,
-            ownership_migrations: stats.ownership_migrations,
-            shared_drops: stats.shared_drops,
-            cold_allocs: stats.cold_allocs,
+            injections: counters.injections,
+            ownership_migrations: counters.ownership_migrations,
+            shared_drops: counters.shared_drops,
+            cold_allocs: counters.cold_allocs,
             bus_busy_ns: self.res.bus.busy_ns(),
             dram_busy_ns: self.res.dram_busy_ns(),
             read_latency: self.read_latency,
         }
     }
 
+    /// The memory system under simulation, for post-run inspection.
+    pub fn memory(&self) -> &dyn MemorySystem {
+        &*self.mem
+    }
+
     /// The COMA engine, for post-run inspection in tests (None when a
     /// baseline memory model is configured).
     pub fn engine(&self) -> Option<&CoherenceEngine> {
-        match &self.engine {
-            Memory::Coma(e) => Some(e),
-            Memory::Baseline(_) => None,
-        }
+        self.mem.as_any().downcast_ref::<CoherenceEngine>()
     }
 }
 

@@ -12,13 +12,13 @@
 
 use coma_protocol::Outcome;
 use coma_stats::Level;
-use coma_timing::Resource;
+use coma_timing::{Interconnect, Resource, SnoopingBus};
 use coma_types::{LatencyConfig, MachineGeometry, Nanos, ProcId};
 
 /// All contended hardware of the machine.
 pub struct MachineResources {
-    /// The global snooping bus.
-    pub bus: Resource,
+    /// The global interconnect (the paper's snooping bus by default).
+    pub bus: Box<dyn Interconnect>,
     /// Node controller / AM state+tag pipeline, per node.
     pub ctrl: Vec<Resource>,
     /// Attraction-memory DRAM, per node.
@@ -30,8 +30,14 @@ pub struct MachineResources {
 
 impl MachineResources {
     pub fn new(geom: &MachineGeometry) -> Self {
+        Self::with_interconnect(geom, Box::new(SnoopingBus::new()))
+    }
+
+    /// Assemble the machine's resources around a specific interconnect
+    /// backend (snooping bus, ideal network, …).
+    pub fn with_interconnect(geom: &MachineGeometry, bus: Box<dyn Interconnect>) -> Self {
         MachineResources {
-            bus: Resource::new(),
+            bus,
             ctrl: (0..geom.n_nodes).map(|_| Resource::new()).collect(),
             dram: (0..geom.n_nodes).map(|_| Resource::new()).collect(),
             slc: (0..geom.n_procs).map(|_| Resource::new()).collect(),
@@ -83,7 +89,7 @@ impl MachineResources {
                 if out.upgrade && !out.read_exclusive {
                     // Invalidation broadcast: no data transfer.
                     let t = self.ctrl[n].serve(now, ctrl2, lat.ctrl_ns);
-                    let t = self.bus.serve(t, lat.bus_occ_ns, lat.bus_ns);
+                    let t = self.bus.transfer(t, lat.bus_occ_ns, lat.bus_ns);
                     t + lat.ctrl_ns
                 } else {
                     // Data fetch from the remote (owner/home) node.
@@ -92,11 +98,11 @@ impl MachineResources {
                         .map(|k| k.as_usize())
                         .unwrap_or((n + 1) % self.ctrl.len());
                     let t = self.ctrl[n].serve(now, ctrl2, lat.ctrl_ns);
-                    let t = self.bus.serve(t, lat.bus_occ_ns, lat.bus_ns);
+                    let t = self.bus.transfer(t, lat.bus_occ_ns, lat.bus_ns);
                     let t = self.ctrl[r].serve(t, ctrl2, lat.ctrl_ns);
                     let t = self.dram[r].serve(t, lat.dram_occ_ns, lat.dram_ns);
                     let t = t + lat.ctrl_ns; // remote controller return pass
-                    let t = self.bus.serve(t, lat.bus_occ_ns, lat.bus_ns);
+                    let t = self.bus.transfer(t, lat.bus_occ_ns, lat.bus_ns);
                     let t = t + lat.ctrl_ns; // local controller return pass
                     t + lat.remote_extra_ns
                 }
@@ -116,13 +122,13 @@ impl MachineResources {
             // Injection: one more bus transfer plus the acceptor's
             // controller and DRAM time (replacements are buffered, so the
             // requester does not wait for them).
-            self.bus.acquire(t, lat.bus_occ_ns);
+            self.bus.post(t, lat.bus_occ_ns);
             let k = k.as_usize();
             self.ctrl[k].acquire(t, lat.ctrl_occ_ns);
             self.dram[k].acquire(t, lat.dram_occ_ns);
         }
         if out.ownership_migrated {
-            self.bus.acquire(t, lat.bus_occ_ns);
+            self.bus.post(t, lat.bus_occ_ns);
         }
         if out.pageout || out.pagein {
             // OS involvement: dominates everything else on this access.

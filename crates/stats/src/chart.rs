@@ -46,7 +46,9 @@ const MARGIN_T: f64 = 46.0;
 const MARGIN_B: f64 = 64.0;
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 impl BarChart {
@@ -182,11 +184,7 @@ mod tests {
     use super::*;
 
     fn chart() -> BarChart {
-        let mut c = BarChart::new(
-            "Test",
-            vec!["read".into(), "write".into()],
-            "traffic (%)",
-        );
+        let mut c = BarChart::new("Test", vec!["read".into(), "write".into()], "traffic (%)");
         let g = c.group("FFT");
         g.bars.push(Bar {
             label: "1p".into(),

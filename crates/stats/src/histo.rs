@@ -131,7 +131,7 @@ mod tests {
         assert_eq!(h.total(), 100);
         assert_eq!(h.quantile(0.5), 1); // bucket [0,1): FLC
         let p99 = h.quantile(0.99);
-        assert!(p99 >= 332 && p99 <= 512, "p99 = {p99}");
+        assert!((332..=512).contains(&p99), "p99 = {p99}");
         assert_eq!(h.quantile(1.0), 332u64.max(h.quantile(1.0)).min(512));
     }
 

@@ -15,6 +15,7 @@
 
 pub mod chart;
 pub mod counts;
+pub mod events;
 pub mod exec;
 pub mod histo;
 pub mod report;
@@ -23,6 +24,7 @@ pub mod traffic;
 
 pub use chart::{Bar, BarChart, BarGroup};
 pub use counts::{AccessCounts, Level};
+pub use events::{CounterSink, EventSink, ProtocolCounters, ProtocolEvent};
 pub use exec::ExecBreakdown;
 pub use histo::LatencyHisto;
 pub use report::SimReport;

@@ -17,9 +17,11 @@
 //! (program-driven simulation's essential property).
 
 pub mod event;
+pub mod interconnect;
 pub mod resource;
 pub mod write_buffer;
 
 pub use event::EventQueue;
+pub use interconnect::{IdealInterconnect, Interconnect, SnoopingBus};
 pub use resource::Resource;
 pub use write_buffer::WriteBuffer;

@@ -1,99 +1,109 @@
-//! Property-based tests for the timing substrates.
+//! Randomized property tests for the timing substrates, driven by the
+//! in-repo deterministic RNG so the workspace builds with no external
+//! test dependencies.
 
 use coma_timing::{EventQueue, Resource, WriteBuffer};
-use coma_types::ProcId;
-use proptest::prelude::*;
+use coma_types::{ProcId, Rng64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Resource: service starts are FIFO-monotone, never precede the
-    /// request, and total busy time equals the sum of occupancies (work
-    /// conservation).
-    #[test]
-    fn resource_fifo_and_work_conservation(
-        reqs in prop::collection::vec((0u64..10_000, 0u64..500), 1..200)
-    ) {
+/// Resource: service starts are FIFO-monotone, never precede the
+/// request, and total busy time equals the sum of occupancies (work
+/// conservation).
+#[test]
+fn resource_fifo_and_work_conservation() {
+    let mut rng = Rng64::new(0xF1F0);
+    for _case in 0..128 {
+        let n = rng.range(1, 200);
+        let mut arrivals: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.below(10_000), rng.below(500)))
+            .collect();
         // Arrival times must be non-decreasing for FIFO semantics.
-        let mut arrivals: Vec<(u64, u64)> = reqs;
         arrivals.sort_by_key(|r| r.0);
         let mut r = Resource::new();
         let mut last_start = 0u64;
         let mut total_occ = 0u64;
         for (t, occ) in arrivals {
             let start = r.acquire(t, occ);
-            prop_assert!(start >= t, "service before request");
-            prop_assert!(start >= last_start, "FIFO order violated");
+            assert!(start >= t, "service before request");
+            assert!(start >= last_start, "FIFO order violated");
             last_start = start;
             total_occ += occ;
         }
-        prop_assert_eq!(r.busy_ns(), total_occ);
-        prop_assert!(r.free_at() >= last_start);
+        assert_eq!(r.busy_ns(), total_occ);
+        assert!(r.free_at() >= last_start);
     }
+}
 
-    /// Resource: serve() = acquire() + latency, for any latency.
-    #[test]
-    fn resource_serve_adds_latency(
-        t in 0u64..1_000_000,
-        occ in 0u64..1_000,
-        lat in 0u64..1_000,
-    ) {
+/// Resource: serve() = acquire() + latency, for any latency.
+#[test]
+fn resource_serve_adds_latency() {
+    let mut rng = Rng64::new(0x5E17E);
+    for _case in 0..128 {
+        let t = rng.below(1_000_000);
+        let occ = rng.below(1_000);
+        let lat = rng.below(1_000);
         let mut a = Resource::new();
         let mut b = Resource::new();
         let done = a.serve(t, occ, lat);
         let start = b.acquire(t, occ);
-        prop_assert_eq!(done, start + lat);
+        assert_eq!(done, start + lat);
     }
+}
 
-    /// WriteBuffer: the processor never resumes before issue time, never
-    /// later than the completion of all outstanding writes, and
-    /// outstanding count never exceeds capacity.
-    #[test]
-    fn write_buffer_bounds(
-        cap in 1usize..16,
-        writes in prop::collection::vec((0u64..10_000, 0u64..2_000), 1..100),
-    ) {
+/// WriteBuffer: the processor never resumes before issue time, never
+/// later than the completion of all outstanding writes, and
+/// outstanding count never exceeds capacity.
+#[test]
+fn write_buffer_bounds() {
+    let mut rng = Rng64::new(0xB0FF);
+    for _case in 0..128 {
+        let cap = rng.range(1, 16) as usize;
+        let n = rng.range(1, 100);
         let mut wb = WriteBuffer::new(cap);
         let mut now = 0u64;
         let mut max_completion = 0u64;
-        for (dt, dur) in writes {
-            now += dt;
-            let completes = now + dur;
+        for _ in 0..n {
+            now += rng.below(10_000);
+            let completes = now + rng.below(2_000);
             let resume = wb.push(now, completes);
             max_completion = max_completion.max(completes);
-            prop_assert!(resume >= now);
+            assert!(resume >= now);
             // Worst case: waited for an earlier outstanding write, which
             // completes no later than the latest completion seen so far.
-            prop_assert!(resume <= max_completion.max(now));
+            assert!(resume <= max_completion.max(now));
             now = resume;
-            prop_assert!(wb.outstanding(now) <= cap);
+            assert!(wb.outstanding(now) <= cap);
         }
         let drained = wb.drain(now);
-        prop_assert!(drained >= now);
-        prop_assert_eq!(wb.outstanding(drained), 0);
+        assert!(drained >= now);
+        assert_eq!(wb.outstanding(drained), 0);
     }
+}
 
-    /// EventQueue pops in non-decreasing time order regardless of insert
-    /// order, and returns exactly the inserted multiset.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(
-        events in prop::collection::vec((0u64..100_000, 0u16..16), 1..200)
-    ) {
+/// EventQueue pops in non-decreasing time order regardless of insert
+/// order, and returns exactly the inserted multiset.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    let mut rng = Rng64::new(0xE0E0);
+    for _case in 0..128 {
+        let n = rng.range(1, 200);
+        let events: Vec<(u64, u16)> = (0..n)
+            .map(|_| (rng.below(100_000), rng.below(16) as u16))
+            .collect();
         let mut q = EventQueue::new();
         for &(t, p) in &events {
             q.push(t, ProcId(p));
         }
-        prop_assert_eq!(q.len(), events.len());
+        assert_eq!(q.len(), events.len());
         let mut popped = Vec::new();
         let mut last = 0u64;
         while let Some((t, p)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             popped.push((t, p.0));
         }
         let mut want = events;
         want.sort_unstable();
         popped.sort_unstable();
-        prop_assert_eq!(popped, want);
+        assert_eq!(popped, want);
     }
 }

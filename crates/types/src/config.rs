@@ -64,7 +64,10 @@ impl Default for MachineConfig {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConfigError {
     /// `n_procs` must be a positive multiple of `procs_per_node`.
-    ProcsNotDivisible { n_procs: usize, procs_per_node: usize },
+    ProcsNotDivisible {
+        n_procs: usize,
+        procs_per_node: usize,
+    },
     /// A structural parameter was zero.
     ZeroParameter(&'static str),
     /// The derived cache would have no capacity for this working set.
@@ -141,7 +144,10 @@ impl MachineConfig {
         let slc_lines = slc_bytes / LINE_BYTES;
         let slc_sets = (slc_lines / self.slc_assoc as u64).max(1);
         if slc_lines == 0 {
-            return Err(ConfigError::DegenerateCache { which: "SLC", ws_bytes });
+            return Err(ConfigError::DegenerateCache {
+                which: "SLC",
+                ws_bytes,
+            });
         }
 
         // Total AM derived from pressure; held constant *per processor*
@@ -152,7 +158,10 @@ impl MachineConfig {
         let am_node_lines = am_per_proc_lines * self.procs_per_node as u64;
         let am_sets = (am_node_lines / self.am_assoc as u64).max(1);
         if am_node_lines < self.am_assoc as u64 {
-            return Err(ConfigError::DegenerateCache { which: "AM", ws_bytes });
+            return Err(ConfigError::DegenerateCache {
+                which: "AM",
+                ws_bytes,
+            });
         }
 
         Ok(MachineGeometry {

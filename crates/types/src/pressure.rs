@@ -104,7 +104,10 @@ pub fn full_replication_threshold(n_nodes: u32, assoc: u32) -> (u32, u32) {
     assert!(n_nodes > 0 && assoc > 0);
     let slots = n_nodes * assoc;
     let replicas = n_nodes - 1;
-    assert!(slots > replicas, "associativity too small to ever replicate");
+    assert!(
+        slots > replicas,
+        "associativity too small to ever replicate"
+    );
     (slots - replicas, slots)
 }
 

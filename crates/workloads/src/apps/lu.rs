@@ -108,11 +108,7 @@ impl PhaseGen for LuNon {
         // Each processor needs the pivot column rows that intersect its
         // own columns: the walk is offset per processor, so only part of
         // the broadcast is shared with cluster-mates.
-        let mut pivot = StrideWalker::starting_at(
-            pivot_panel,
-            3,
-            step as u64 + self.me as u64 * 5,
-        );
+        let mut pivot = StrideWalker::starting_at(pivot_panel, 3, step as u64 + self.me as u64 * 5);
         let pivot_reads = (pivot_panel.lines() / 2).max(1);
         for _ in 0..pivot_reads {
             buf.read(pivot.next_addr());

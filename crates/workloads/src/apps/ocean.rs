@@ -195,10 +195,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for l in reads {
             let band = l / band_lines;
-            assert!(
-                [2, 3, 4, 7].contains(&band),
-                "read in band {band}"
-            );
+            assert!([2, 3, 4, 7].contains(&band), "read in band {band}");
             seen.insert(band);
         }
         assert!(seen.contains(&7), "missing other-dimension neighbour");
@@ -214,10 +211,7 @@ mod tests {
         // chunks owned by processors 2 and 4.
         for l in &reads {
             let owner = (l / CHUNK_LINES) % 8;
-            assert!(
-                (2..=4).contains(&owner),
-                "read of line owned by {owner}"
-            );
+            assert!((2..=4).contains(&owner), "read of line owned by {owner}");
         }
         assert!(reads.iter().any(|l| (l / CHUNK_LINES) % 8 == 2));
         assert!(reads.iter().any(|l| (l / CHUNK_LINES) % 8 == 4));

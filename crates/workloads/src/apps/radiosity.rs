@@ -134,7 +134,11 @@ mod tests {
                 locks_seen.insert(l);
             }
         }
-        assert!(locks_seen.len() >= 3, "only {} locks used", locks_seen.len());
+        assert!(
+            locks_seen.len() >= 3,
+            "only {} locks used",
+            locks_seen.len()
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl PhaseGen for Synth {
                 (own, self.spec.write_frac)
             };
             let line = if shared_turn {
-                self.zipf.as_ref().expect("shared region set").sample(buf.rng()) as u64
+                self.zipf
+                    .as_ref()
+                    .expect("shared region set")
+                    .sample(buf.rng()) as u64
             } else {
                 buf.rng().below(region.lines())
             };

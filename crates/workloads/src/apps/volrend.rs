@@ -39,8 +39,7 @@ impl PhaseGen for Volrend {
         // Rays from this tile sample a brick of the volume centred on the
         // processor's image position — adjacent tiles overlap bricks.
         let brick_lines = (self.volume.lines() / self.nprocs as u64 * 5 / 4).max(1);
-        let brick_base =
-            self.me as u64 * self.volume.lines() / self.nprocs as u64;
+        let brick_base = self.me as u64 * self.volume.lines() / self.nprocs as u64;
         for px in 0..self.own_tile.lines() {
             if px % 64 == 0 {
                 let lock = self.me as u32 % N_LOCKS;

@@ -18,7 +18,10 @@ impl Region {
     /// Create a region of `lines` cache lines starting at line-aligned
     /// byte offset `base`.
     pub fn new(base: u64, lines: u64) -> Self {
-        assert!(base.is_multiple_of(LINE_BYTES), "region base must be line-aligned");
+        assert!(
+            base.is_multiple_of(LINE_BYTES),
+            "region base must be line-aligned"
+        );
         assert!(lines > 0, "empty region");
         Region { base, lines }
     }
@@ -62,7 +65,12 @@ impl Region {
         let mut base = self.base;
         for i in 0..n64 {
             let len = per + u64::from(i < extra);
-            assert!(len > 0, "partition of {} lines into {} chunks", self.lines, n);
+            assert!(
+                len > 0,
+                "partition of {} lines into {} chunks",
+                self.lines,
+                n
+            );
             out.push(Region::new(base, len));
             base += len * LINE_BYTES;
         }

@@ -213,9 +213,7 @@ pub fn proc_rng(seed: u64, app_salt: u64, proc: usize) -> Rng64 {
 /// Deterministic RNG for decisions that must be *identical on every
 /// processor* (e.g. which block is this iteration's pivot).
 pub fn shared_rng(seed: u64, app_salt: u64, iter: u32) -> Rng64 {
-    Rng64::new(
-        seed ^ app_salt.wrapping_mul(0x9FB2_1C65_1E98_DF25) ^ ((iter as u64) << 32),
-    )
+    Rng64::new(seed ^ app_salt.wrapping_mul(0x9FB2_1C65_1E98_DF25) ^ ((iter as u64) << 32))
 }
 
 #[cfg(test)]
@@ -312,6 +310,9 @@ mod tests {
         let s1 = shared_rng(1, 2, 3).next_u64();
         let s2 = shared_rng(1, 2, 3).next_u64();
         assert_eq!(s1, s2);
-        assert_ne!(shared_rng(1, 2, 3).next_u64(), shared_rng(1, 2, 4).next_u64());
+        assert_ne!(
+            shared_rng(1, 2, 3).next_u64(),
+            shared_rng(1, 2, 4).next_u64()
+        );
     }
 }

@@ -49,7 +49,10 @@ fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
         }
         shift += 7;
         if shift >= 64 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflow",
+            ));
         }
     }
 }
@@ -141,7 +144,10 @@ pub fn replay<R: Read>(r: R) -> io::Result<Workload> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a COMA trace"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a COMA trace",
+        ));
     }
     let mut u32b = [0u8; 4];
     let mut u64b = [0u8; 8];

@@ -1,26 +1,26 @@
-//! Property-based tests over the whole workload catalog: the structural
-//! guarantees the simulator depends on must hold for *every* application
-//! at *any* seed, scale and processor count.
+//! Randomized property tests over the whole workload catalog: the
+//! structural guarantees the simulator depends on must hold for *every*
+//! application at *any* seed, scale and processor count. Driven by the
+//! in-repo deterministic RNG so the workspace needs no external test
+//! dependencies.
 
+use coma_types::Rng64;
 use coma_workloads::{AppId, Op, OpStream, Scale};
-use proptest::prelude::*;
 
-fn any_app() -> impl Strategy<Value = AppId> {
-    prop::sample::select(AppId::ALL.to_vec())
+fn random_app(rng: &mut Rng64) -> AppId {
+    AppId::ALL[rng.below(AppId::ALL.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Addresses stay inside the declared working set, lock ids inside
-    /// the declared lock count, and lock/unlock pairs balance without
-    /// nesting — for every app, any seed.
-    #[test]
-    fn streams_are_well_formed(
-        app in any_app(),
-        seed in any::<u64>(),
-        nprocs in prop::sample::select(vec![2usize, 4, 8, 16]),
-    ) {
+/// Addresses stay inside the declared working set, lock ids inside
+/// the declared lock count, and lock/unlock pairs balance without
+/// nesting — for every app, any seed.
+#[test]
+fn streams_are_well_formed() {
+    let mut rng = Rng64::new(0x10AD);
+    for _case in 0..32 {
+        let app = random_app(&mut rng);
+        let seed = rng.next_u64();
+        let nprocs = [2usize, 4, 8, 16][rng.below(4) as usize];
         let mut wl = app.build(nprocs, seed, Scale::SMOKE);
         for (p, s) in wl.streams.iter_mut().enumerate() {
             let mut depth = 0i32;
@@ -28,34 +28,36 @@ proptest! {
             while let Some(op) = s.next_op() {
                 match op {
                     Op::Read(a) | Op::Write(a) => {
-                        prop_assert!(a.0 < wl.ws_bytes, "{app} P{p}: {a} outside ws");
+                        assert!(a.0 < wl.ws_bytes, "{app} P{p}: {a} outside ws");
                     }
                     Op::Lock(l) => {
-                        prop_assert!(l < wl.n_locks);
-                        prop_assert_eq!(depth, 0, "{} P{}: nested lock", app, p);
+                        assert!(l < wl.n_locks);
+                        assert_eq!(depth, 0, "{app} P{p}: nested lock");
                         depth += 1;
                         held = Some(l);
                     }
                     Op::Unlock(l) => {
-                        prop_assert_eq!(depth, 1, "{} P{}: unlock without lock", app, p);
-                        prop_assert_eq!(Some(l), held, "{} P{}: unlock of other lock", app, p);
+                        assert_eq!(depth, 1, "{app} P{p}: unlock without lock");
+                        assert_eq!(Some(l), held, "{app} P{p}: unlock of other lock");
                         depth -= 1;
                         held = None;
                     }
                     Op::Compute(_) | Op::Barrier(_) => {}
                 }
             }
-            prop_assert_eq!(depth, 0, "{} P{}: lock held at end", app, p);
+            assert_eq!(depth, 0, "{app} P{p}: lock held at end");
         }
     }
+}
 
-    /// Barrier sequences are identical on every processor (the property
-    /// the global barrier implementation relies on).
-    #[test]
-    fn barrier_sequences_align(
-        app in any_app(),
-        seed in any::<u64>(),
-    ) {
+/// Barrier sequences are identical on every processor (the property
+/// the global barrier implementation relies on).
+#[test]
+fn barrier_sequences_align() {
+    let mut rng = Rng64::new(0xBA22);
+    for _case in 0..32 {
+        let app = random_app(&mut rng);
+        let seed = rng.next_u64();
         let mut wl = app.build(4, seed, Scale::SMOKE);
         let seqs: Vec<Vec<u32>> = wl
             .streams
@@ -71,18 +73,23 @@ proptest! {
             })
             .collect();
         for s in &seqs[1..] {
-            prop_assert_eq!(s, &seqs[0], "{}: diverging barriers", app);
+            assert_eq!(s, &seqs[0], "{app}: diverging barriers");
         }
         // Sequential numbering from zero.
         for (i, b) in seqs[0].iter().enumerate() {
-            prop_assert_eq!(*b as usize, i);
+            assert_eq!(*b as usize, i);
         }
     }
+}
 
-    /// Determinism: the same (app, seed, scale) yields bit-identical
-    /// streams.
-    #[test]
-    fn streams_are_deterministic(app in any_app(), seed in any::<u64>()) {
+/// Determinism: the same (app, seed, scale) yields bit-identical
+/// streams.
+#[test]
+fn streams_are_deterministic() {
+    let mut rng = Rng64::new(0xDE7);
+    for _case in 0..32 {
+        let app = random_app(&mut rng);
+        let seed = rng.next_u64();
         let collect = || {
             let mut wl = app.build(2, seed, Scale::SMOKE);
             let mut v = Vec::new();
@@ -94,15 +101,20 @@ proptest! {
             }
             v
         };
-        prop_assert_eq!(collect(), collect());
+        assert_eq!(collect(), collect());
     }
+}
 
-    /// Scale only stretches the trace: the working set (and therefore the
-    /// machine geometry) is scale-invariant.
-    #[test]
-    fn scale_never_changes_working_set(app in any_app(), seed in any::<u64>()) {
+/// Scale only stretches the trace: the working set (and therefore the
+/// machine geometry) is scale-invariant.
+#[test]
+fn scale_never_changes_working_set() {
+    let mut rng = Rng64::new(0x5CA1E);
+    for _case in 0..32 {
+        let app = random_app(&mut rng);
+        let seed = rng.next_u64();
         let a = app.build(4, seed, Scale::SMOKE).ws_bytes;
         let b = app.build(4, seed, Scale::BENCH).ws_bytes;
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

@@ -43,10 +43,7 @@ fn main() {
     ]);
     for mp in MemoryPressure::PAPER_SWEEP {
         let overhead = 1.0 / mp.as_f64() - 1.0;
-        let mut cells = vec![
-            mp.to_string(),
-            format!("+{:.0}% DRAM", overhead * 100.0),
-        ];
+        let mut cells = vec![mp.to_string(), format!("+{:.0}% DRAM", overhead * 100.0)];
         for ppn in [1usize, 2, 4] {
             let time = run(ppn, mp) as f64;
             cells.push(format!("{:.0}%", time / base * 100.0));

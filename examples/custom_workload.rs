@@ -8,8 +8,8 @@
 //! ```
 
 use coma::prelude::*;
-use coma::workloads::{Op, OpStream};
 use coma::types::Addr;
+use coma::workloads::{Op, OpStream};
 
 /// Each round: acquire the lock, update the shared line, release; spin
 /// processors that don't participate just compute.
@@ -55,11 +55,8 @@ impl OpStream for PingPong {
         } else {
             // Bystanders: private work only.
             let private = Addr(4096 + (self.me as u64) * 4096);
-            self.emitted.extend([
-                Op::Compute(150),
-                Op::Read(private),
-                Op::Write(private),
-            ]);
+            self.emitted
+                .extend([Op::Compute(150), Op::Read(private), Op::Write(private)]);
         }
         self.emitted.pop_front()
     }
@@ -78,7 +75,10 @@ fn build(rounds: u32) -> Workload {
 
 fn main() {
     println!("Ping-pong microbenchmark: procs 0 and 1 alternate on one line.\n");
-    println!("{:<14} {:>14} {:>12} {:>10}", "clustering", "exec time (µs)", "bus bytes", "RNMr");
+    println!(
+        "{:<14} {:>14} {:>12} {:>10}",
+        "clustering", "exec time (µs)", "bus bytes", "RNMr"
+    );
     for ppn in [1usize, 2, 4] {
         let mut params = SimParams::default();
         params.machine.procs_per_node = ppn;

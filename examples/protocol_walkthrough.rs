@@ -54,7 +54,10 @@ fn main() {
     let out = e.write(ProcId(1), line);
     println!(
         "   level={:?} upgrade={} rex={}   [{}]\n",
-        out.level, out.upgrade, out.read_exclusive, states(&e, line)
+        out.level,
+        out.upgrade,
+        out.read_exclusive,
+        states(&e, line)
     );
 
     println!("P0 reads again → node 1 becomes Owner, node 0 a Shared replica");

@@ -32,14 +32,30 @@ fn main() {
         "working set: {} KB  (SLC {} KB/processor, AM {} KB/node)",
         workload.ws_bytes / 1024,
         workload.ws_bytes / 128 / 1024,
-        params.machine.memory_pressure.total_am_bytes(workload.ws_bytes) / 16 * ppn as u64 / 1024,
+        params
+            .machine
+            .memory_pressure
+            .total_am_bytes(workload.ws_bytes)
+            / 16
+            * ppn as u64
+            / 1024,
     );
 
     let report = run_simulation(workload, &params);
 
-    println!("\nsimulated execution time : {:>10.3} ms", report.exec_time_ns as f64 / 1e6);
-    println!("reads / writes           : {:>10} / {}", report.counts.total_reads(), report.counts.total_writes());
-    println!("read node miss rate      : {:>9.3} %", report.rnm_rate() * 100.0);
+    println!(
+        "\nsimulated execution time : {:>10.3} ms",
+        report.exec_time_ns as f64 / 1e6
+    );
+    println!(
+        "reads / writes           : {:>10} / {}",
+        report.counts.total_reads(),
+        report.counts.total_writes()
+    );
+    println!(
+        "read node miss rate      : {:>9.3} %",
+        report.rnm_rate() * 100.0
+    );
     println!(
         "bus traffic              : {:>10} bytes  (read {} / write {} / replace {})",
         report.traffic.total_bytes(),
@@ -47,7 +63,10 @@ fn main() {
         report.traffic.write_bytes,
         report.traffic.replace_bytes
     );
-    println!("bus utilization          : {:>9.1} %", report.bus_utilization() * 100.0);
+    println!(
+        "bus utilization          : {:>9.1} %",
+        report.bus_utilization() * 100.0
+    );
     println!(
         "injections / migrations  : {:>10} / {}",
         report.injections, report.ownership_migrations

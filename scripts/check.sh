@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The CI gate: formatting, lints, then the tier-1 offline build + test.
+# Everything must pass with no network access (the workspace has no
+# external dependencies, so the registry is never consulted).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "OK: all checks passed"

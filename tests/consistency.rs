@@ -16,7 +16,10 @@ fn params(ppn: usize, mp: MemoryPressure) -> SimParams {
 fn full_runs_are_deterministic() {
     for app in [AppId::Radiosity, AppId::Radix, AppId::Cholesky] {
         let run = || {
-            let r = run_simulation(app.build(16, 7, Scale::SMOKE), &params(2, MemoryPressure::MP_81));
+            let r = run_simulation(
+                app.build(16, 7, Scale::SMOKE),
+                &params(2, MemoryPressure::MP_81),
+            );
             (r.exec_time_ns, r.counts, r.traffic, r.injections)
         };
         assert_eq!(run(), run(), "{app} not deterministic");

@@ -1,0 +1,162 @@
+//! The layering contract: every memory architecture runs through the
+//! same `dyn MemorySystem` surface, and the refactor that introduced it
+//! changed no numbers — a golden regression pins the exact RNMr and
+//! traffic totals captured before the engines moved behind the trait.
+
+use coma::protocol::{BaselineEngine, BaselineKind, CoherenceEngine, MemorySystem};
+use coma::sim::{run_simulation, InterconnectKind, MemoryModel, SimParams, Simulation};
+use coma::types::{LineNum, MachineConfig, MemoryPressure, ProcId, Rng64};
+use coma::workloads::{AppId, Scale};
+
+fn all_systems() -> Vec<(&'static str, Box<dyn MemorySystem>)> {
+    let cfg = MachineConfig {
+        n_procs: 8,
+        procs_per_node: 2,
+        memory_pressure: MemoryPressure::MP_75,
+        ..Default::default()
+    };
+    let geom = cfg.geometry(128 * 1024).unwrap();
+    vec![
+        (
+            "coma",
+            Box::new(CoherenceEngine::new(
+                geom,
+                coma::cache::VictimPolicy::SharedFirst,
+                coma::cache::AcceptPolicy::InvalidThenShared,
+                true,
+            )) as Box<dyn MemorySystem>,
+        ),
+        (
+            "numa",
+            Box::new(BaselineEngine::new(geom, BaselineKind::Numa)),
+        ),
+        (
+            "uma",
+            Box::new(BaselineEngine::new(geom, BaselineKind::Uma)),
+        ),
+    ]
+}
+
+/// The same synthetic trace drives every engine through the trait
+/// object: all invariants hold, every read is eventually node-local
+/// once cached, and traffic only ever grows.
+#[test]
+fn trait_object_smoke_all_architectures() {
+    for (name, mut m) in all_systems() {
+        let mut rng = Rng64::new(0xD15C);
+        let mut last_bytes = 0;
+        for i in 0..10_000 {
+            let p = ProcId(rng.below(8) as u16);
+            let l = LineNum(rng.below(1200));
+            if rng.chance(0.35) {
+                m.write(p, l);
+            } else {
+                m.read(p, l);
+            }
+            let bytes = m.traffic().total_bytes();
+            assert!(bytes >= last_bytes, "{name}: traffic shrank at op {i}");
+            last_bytes = bytes;
+        }
+        m.check_invariants()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // A cached line is served without touching the bus.
+        m.read(ProcId(0), LineNum(7));
+        let before = m.traffic().total_txns();
+        m.read(ProcId(0), LineNum(7));
+        assert_eq!(m.traffic().total_txns(), before, "{name}: rehit used bus");
+    }
+}
+
+/// An externally built engine runs under the standard driver via
+/// `Simulation::with_memory`, and the driver can hand it back.
+#[test]
+fn simulation_accepts_external_memory_system() {
+    let params = SimParams::default();
+    let wl = AppId::WaterSp.build(16, 8, Scale::SMOKE);
+    let geom = params.machine.geometry(wl.ws_bytes).unwrap();
+    let mem: Box<dyn MemorySystem> = Box::new(BaselineEngine::new(geom, BaselineKind::Numa));
+    let sim = Simulation::with_memory(wl, &params, mem);
+    assert!(sim.engine().is_none(), "baseline downcast to COMA engine");
+    let r = sim.run_checked().expect("invariants hold");
+    assert!(r.exec_time_ns > 0);
+    assert_eq!(r.injections, 0, "baselines never inject");
+}
+
+/// The ideal (contention-free) interconnect can only make execution
+/// faster, and leaves the protocol-side numbers untouched.
+#[test]
+fn ideal_interconnect_is_a_lower_bound() {
+    let run = |kind| {
+        let mut params = SimParams::default();
+        params.machine.procs_per_node = 2;
+        params.machine.memory_pressure = MemoryPressure::MP_81;
+        params.interconnect = kind;
+        run_simulation(AppId::Fft.build(16, 42, Scale::SMOKE), &params)
+    };
+    let bus = run(InterconnectKind::SnoopingBus);
+    let ideal = run(InterconnectKind::Ideal);
+    assert!(
+        ideal.exec_time_ns <= bus.exec_time_ns,
+        "removing contention slowed execution: {} > {}",
+        ideal.exec_time_ns,
+        bus.exec_time_ns
+    );
+    // The simulation is timing-coupled, so removing contention perturbs
+    // the interleaving slightly — but the protocol work is the same to
+    // within a fraction of a percent.
+    let (a, b) = (ideal.traffic.total_bytes(), bus.traffic.total_bytes());
+    assert!(
+        (a as f64 - b as f64).abs() / (b as f64) < 0.01,
+        "interconnect changed protocol traffic: {a} vs {b}"
+    );
+    assert_eq!(ideal.counts.total_reads(), bus.counts.total_reads());
+    assert_eq!(ideal.counts.total_writes(), bus.counts.total_writes());
+}
+
+fn golden_params() -> SimParams {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = 2;
+    params.machine.memory_pressure = MemoryPressure::MP_81;
+    params
+}
+
+/// Byte-identical COMA totals, captured on the pre-refactor engine
+/// (FFT, 16 procs, seed 42, SMOKE, 2 procs/node, 81.25% MP). Any
+/// change here means the layered refactor altered protocol behavior.
+#[test]
+fn golden_coma_totals_unchanged_by_refactor() {
+    let r = run_simulation(AppId::Fft.build(16, 42, Scale::SMOKE), &golden_params());
+    assert_eq!(r.counts.total_reads(), 230_462);
+    assert_eq!(r.counts.total_writes(), 76_834);
+    assert_eq!(r.counts.read_node_misses(), 22_041);
+    assert_eq!(r.traffic.read_bytes, 1_586_952);
+    assert_eq!(r.traffic.write_bytes, 376);
+    assert_eq!(r.traffic.replace_bytes, 184_192);
+    assert_eq!(r.traffic.read_txns, 22_041);
+    assert_eq!(r.traffic.write_txns, 31);
+    assert_eq!(r.traffic.replace_txns, 5_824);
+    assert_eq!(r.injections, 2_150);
+    assert_eq!(r.ownership_migrations, 3_674);
+    assert_eq!(r.shared_drops, 8_646);
+    assert_eq!(r.cold_allocs, 51_202);
+    assert_eq!(r.exec_time_ns, 7_521_891);
+}
+
+/// Byte-identical NUMA-baseline totals from the same capture.
+#[test]
+fn golden_numa_totals_unchanged_by_refactor() {
+    let mut params = golden_params();
+    params.memory_model = MemoryModel::Numa;
+    let r = run_simulation(AppId::Fft.build(16, 42, Scale::SMOKE), &params);
+    assert_eq!(r.counts.total_reads(), 230_462);
+    assert_eq!(r.counts.total_writes(), 76_834);
+    assert_eq!(r.counts.read_node_misses(), 22_454);
+    assert_eq!(r.traffic.read_bytes, 1_616_688);
+    assert_eq!(r.traffic.write_bytes, 392);
+    assert_eq!(r.traffic.replace_bytes, 72);
+    assert_eq!(r.traffic.read_txns, 22_454);
+    assert_eq!(r.traffic.write_txns, 33);
+    assert_eq!(r.traffic.replace_txns, 1);
+    assert_eq!(r.injections, 0);
+    assert_eq!(r.exec_time_ns, 6_958_843);
+}

@@ -22,7 +22,11 @@ fn fig2_clustering_reduces_rnm_for_all_applications() {
         let r1 = report(app, 1, MemoryPressure::MP_6).rnm_rate();
         let r2 = report(app, 2, MemoryPressure::MP_6).rnm_rate();
         let r4 = report(app, 4, MemoryPressure::MP_6).rnm_rate();
-        assert!(r2 < r1, "{app}: 2-way rel RNMr {:.1}% ≥ 100%", r2 / r1 * 100.0);
+        assert!(
+            r2 < r1,
+            "{app}: 2-way rel RNMr {:.1}% ≥ 100%",
+            r2 / r1 * 100.0
+        );
         assert!(r4 < r2, "{app}: 4-way {r4} not below 2-way {r2}");
     }
 }
@@ -53,7 +57,12 @@ fn traffic_grows_with_memory_pressure() {
 /// Figure 3: clustering reduces total traffic up to 81.25 % MP.
 #[test]
 fn clustering_reduces_traffic_up_to_81() {
-    for app in [AppId::Cholesky, AppId::Fft, AppId::OceanCont, AppId::WaterN2] {
+    for app in [
+        AppId::Cholesky,
+        AppId::Fft,
+        AppId::OceanCont,
+        AppId::WaterN2,
+    ] {
         for mp in [MemoryPressure::MP_50, MemoryPressure::MP_81] {
             let t1 = report(app, 1, mp).traffic.total_bytes();
             let t4 = report(app, 4, mp).traffic.total_bytes();
@@ -94,7 +103,13 @@ fn fig5_clustering_helps_except_contention_dominated() {
         p.latency = lat.clone();
         run_simulation(app.build(16, 42, Scale::SMOKE), &p).exec_time_ns
     };
-    for app in [AppId::Barnes, AppId::Fmm, AppId::Radiosity, AppId::Volrend, AppId::OceanNon] {
+    for app in [
+        AppId::Barnes,
+        AppId::Fmm,
+        AppId::Radiosity,
+        AppId::Volrend,
+        AppId::OceanNon,
+    ] {
         assert!(
             exec(app, 4) < exec(app, 1),
             "{app}: clustering should win at 81.25% MP"
