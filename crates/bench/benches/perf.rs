@@ -1,0 +1,138 @@
+//! The tracked simulator-throughput bench.
+//!
+//! A fixed set of whole-machine simulations (chosen to cover the hit-
+//! dominated, replacement-heavy and baseline-engine regimes of the inner
+//! loop) is timed and the results are written as machine-readable
+//! `BENCH_sim.json` at the repo root, so the performance trajectory of
+//! the per-access hot path is tracked from PR to PR. Run with
+//! `cargo bench --bench perf` (add `-- --iters 1` for a smoke pass).
+
+use coma_bench::harness::Bench;
+use coma_bench::json;
+use coma_sim::{run_simulation, MemoryModel, SimParams};
+use coma_types::MemoryPressure;
+use coma_workloads::{AppId, Scale};
+
+/// One fixed simulation workload in the tracked set.
+struct Case {
+    name: &'static str,
+    app: AppId,
+    ppn: usize,
+    mp: MemoryPressure,
+    model: MemoryModel,
+}
+
+const CASES: [Case; 6] = [
+    // Hit-dominated: every AM holds the whole working set (no replacement).
+    Case {
+        name: "sim/fft_1p_mp6",
+        app: AppId::Fft,
+        ppn: 1,
+        mp: MemoryPressure::MP_6,
+        model: MemoryModel::Coma,
+    },
+    // The golden-regression configuration.
+    Case {
+        name: "sim/fft_2p_mp81",
+        app: AppId::Fft,
+        ppn: 2,
+        mp: MemoryPressure::MP_81,
+        model: MemoryModel::Coma,
+    },
+    // AM-conflict heavy: highest replacement pressure in the study.
+    Case {
+        name: "sim/radiosity_2p_mp87",
+        app: AppId::Radiosity,
+        ppn: 2,
+        mp: MemoryPressure::MP_87,
+        model: MemoryModel::Coma,
+    },
+    // Communication-heavy under clustering.
+    Case {
+        name: "sim/ocean_4p_mp81",
+        app: AppId::OceanNon,
+        ppn: 4,
+        mp: MemoryPressure::MP_81,
+        model: MemoryModel::Coma,
+    },
+    // Wide replication.
+    Case {
+        name: "sim/raytrace_1p_mp50",
+        app: AppId::Raytrace,
+        ppn: 1,
+        mp: MemoryPressure::MP_50,
+        model: MemoryModel::Coma,
+    },
+    // The baseline engine's hot path.
+    Case {
+        name: "sim/numa_fft_2p_mp81",
+        app: AppId::Fft,
+        ppn: 2,
+        mp: MemoryPressure::MP_81,
+        model: MemoryModel::Numa,
+    },
+];
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+
+fn main() {
+    let bench = Bench::from_args();
+    let mut rows = Vec::new();
+    let mut ran = Vec::new();
+
+    for c in &CASES {
+        let mut params = SimParams::default();
+        params.machine.procs_per_node = c.ppn;
+        params.machine.memory_pressure = c.mp;
+        params.memory_model = c.model;
+        // Memory accesses simulated per iteration (deterministic).
+        let probe = run_simulation(c.app.build(16, 42, Scale::SMOKE), &params);
+        let ops = probe.counts.total_reads() + probe.counts.total_writes();
+        let stats = bench.case(c.name, || {
+            let r = run_simulation(c.app.build(16, 42, Scale::SMOKE), &params);
+            assert_eq!(
+                r.counts.total_reads() + r.counts.total_writes(),
+                ops,
+                "{}: non-deterministic access count",
+                c.name
+            );
+        });
+        if let Some(s) = stats {
+            ran.push(c.name);
+            let ops_per_sec = ops as f64 / (s.mean.as_nanos().max(1) as f64 / 1e9);
+            rows.push(format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, ",
+                    "\"mean_ns\": {}, \"max_ns\": {}, \"ops\": {}, \"ops_per_sec\": {:.0}}}"
+                ),
+                json::escape(s.name.as_str()),
+                s.iters,
+                s.min.as_nanos(),
+                s.mean.as_nanos(),
+                s.max.as_nanos(),
+                ops,
+                ops_per_sec
+            ));
+        }
+    }
+
+    if rows.is_empty() {
+        println!("no cases matched the filter; {OUT_PATH} not written");
+        return;
+    }
+    let doc = format!(
+        "{{\n  \"schema\": \"coma-bench-sim/1\",\n  \"scale\": \"smoke\",\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    json::validate(&doc).expect("emitted BENCH_sim.json is well-formed JSON");
+    std::fs::write(OUT_PATH, &doc).expect("write BENCH_sim.json");
+    // Round-trip through the validator from disk, so the CI smoke step
+    // (`--iters 1`) proves both emission and parseability.
+    let back = std::fs::read_to_string(OUT_PATH).expect("read back BENCH_sim.json");
+    json::validate(&back).expect("BENCH_sim.json on disk parses");
+    for name in ran {
+        assert!(back.contains(name), "case {name} missing from output");
+    }
+    println!("wrote {OUT_PATH}");
+}

@@ -4,9 +4,34 @@
 //! benches cannot pull in an external harness crate. This module provides
 //! the small slice we actually use: named cases, a warm-up pass, a fixed
 //! number of measured iterations, and min/mean/max wall-clock reporting.
-//! Invoke via `cargo bench` (optionally with a substring filter argument).
+//!
+//! # Usage
+//!
+//! ```text
+//! cargo bench --bench figures                  # all cases, 10 iterations
+//! cargo bench --bench figures -- fig2          # cases containing "fig2"
+//! cargo bench --bench perf -- --iters 1        # one measured iteration
+//! cargo bench --bench perf -- --iters=3 fft    # both, in either order
+//! ```
+//!
+//! The first bare (non `--flag`) argument is a substring filter on case
+//! names. `--iters N` (or `--iters=N`) overrides the measured iteration
+//! count. Everything else cargo injects (`--bench`, `--exact`, …) is
+//! ignored, so the harness stays robust against the positional artifacts
+//! cargo's bench runner passes through.
 
 use std::time::{Duration, Instant};
+
+/// Timing summary of one executed case, as reported by [`Bench::case`].
+#[derive(Clone, Debug)]
+pub struct CaseStats {
+    pub name: String,
+    /// Measured iterations (excludes the warm-up pass).
+    pub iters: usize,
+    pub min: Duration,
+    pub mean: Duration,
+    pub max: Duration,
+}
 
 /// One bench executable's worth of cases.
 pub struct Bench {
@@ -15,11 +40,33 @@ pub struct Bench {
 }
 
 impl Bench {
-    /// Build from the command line: the first argument that is not a
-    /// `--flag` (cargo passes `--bench`) filters cases by substring.
+    /// Build from the command line (see the module docs for the grammar).
     pub fn from_args() -> Self {
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Bench { filter, iters: 10 }
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut filter = None;
+        let mut iters = 10usize;
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            if let Some(v) = a.strip_prefix("--iters=") {
+                iters = v.parse().unwrap_or(iters);
+            } else if a == "--iters" {
+                if let Some(v) = args.peek().and_then(|v| v.parse().ok()) {
+                    iters = v;
+                    args.next();
+                }
+            } else if a.starts_with('-') {
+                // Cargo artifacts (`--bench`, `--exact`, …): ignore.
+            } else if filter.is_none() {
+                filter = Some(a);
+            }
+        }
+        Bench {
+            filter,
+            iters: iters.max(1),
+        }
     }
 
     /// Number of measured iterations per case (default 10).
@@ -29,10 +76,11 @@ impl Bench {
     }
 
     /// Run one case: a warm-up iteration, then `iters` timed iterations.
-    pub fn case<F: FnMut()>(&self, name: &str, mut f: F) {
+    /// Returns the timing summary, or `None` if the filter skipped it.
+    pub fn case<F: FnMut()>(&self, name: &str, mut f: F) -> Option<CaseStats> {
         if let Some(pat) = &self.filter {
             if !name.contains(pat.as_str()) {
-                return;
+                return None;
             }
         }
         f(); // warm-up (also surfaces assertion failures before timing)
@@ -52,12 +100,23 @@ impl Bench {
             max,
             samples.len()
         );
+        Some(CaseStats {
+            name: name.to_string(),
+            iters: samples.len(),
+            min,
+            mean,
+            max,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn args<'a>(xs: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+        xs.iter().map(|s| s.to_string())
+    }
 
     #[test]
     fn case_runs_warmup_plus_iters() {
@@ -66,8 +125,10 @@ mod tests {
             iters: 3,
         };
         let mut n = 0u32;
-        b.case("counting", || n += 1);
+        let stats = b.case("counting", || n += 1).unwrap();
         assert_eq!(n, 4);
+        assert_eq!(stats.iters, 3);
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
     }
 
     #[test]
@@ -77,9 +138,36 @@ mod tests {
             iters: 2,
         };
         let mut n = 0u32;
-        b.case("table1", || n += 1);
+        assert!(b.case("table1", || n += 1).is_none());
         assert_eq!(n, 0);
-        b.case("fig2_rnm", || n += 1);
+        assert!(b.case("fig2_rnm", || n += 1).is_some());
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn parse_iters_flag_separate_and_joined() {
+        let b = Bench::parse(args(&["--iters", "3"]));
+        assert_eq!(b.iters, 3);
+        assert!(b.filter.is_none());
+        let b = Bench::parse(args(&["--iters=7", "fft"]));
+        assert_eq!(b.iters, 7);
+        assert_eq!(b.filter.as_deref(), Some("fft"));
+    }
+
+    #[test]
+    fn parse_skips_cargo_artifacts() {
+        let b = Bench::parse(args(&["--bench", "--exact", "fig2", "--iters", "2"]));
+        assert_eq!(b.filter.as_deref(), Some("fig2"));
+        assert_eq!(b.iters, 2);
+    }
+
+    #[test]
+    fn parse_bad_iters_falls_back_to_default() {
+        let b = Bench::parse(args(&["--iters", "zap"]));
+        assert_eq!(b.iters, 10);
+        // The unparsable value is consumed as a filter, not left dangling.
+        assert_eq!(b.filter.as_deref(), Some("zap"));
+        let b = Bench::parse(args(&["--iters=0"]));
+        assert_eq!(b.iters, 1, "iteration count is clamped to at least 1");
     }
 }

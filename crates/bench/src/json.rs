@@ -1,0 +1,245 @@
+//! A minimal JSON well-formedness checker.
+//!
+//! The perf bench emits machine-readable `BENCH_sim.json`; CI must verify
+//! that the file parses without pulling a serde dependency into the
+//! offline workspace. This is a strict recursive-descent validator for
+//! RFC 8259 JSON — it accepts or rejects, it does not build a tree.
+
+/// Validate that `s` is one complete JSON value. Returns the byte offset
+/// of the first error on failure.
+pub fn validate(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i == b.len() {
+        Ok(())
+    } else {
+        Err(p.i)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), usize> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), usize> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn value(&mut self) -> Result<(), usize> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.i),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), usize> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), usize> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), usize> {
+        self.eat(b'"')?;
+        loop {
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                if !matches!(
+                                    self.b.get(self.i),
+                                    Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                                ) {
+                                    return Err(self.i);
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err(self.i),
+                    }
+                }
+                Some(c) if *c >= 0x20 => self.i += 1,
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), usize> {
+        let start = self.i;
+        while matches!(self.b.get(self.i), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err(self.i)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn number(&mut self) -> Result<(), usize> {
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        match self.b.get(self.i) {
+            Some(b'0') => self.i += 1,
+            Some(b'1'..=b'9') => self.digits()?,
+            _ => return Err(self.i),
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            self.digits()?;
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            r#""a \"quoted\" string\n""#,
+            r#"{"cases": [{"name": "fft", "min_ns": 12, "ratio": 0.5}], "n": 2}"#,
+            " [1, 2, [3, {\"k\": true}], false] ",
+        ] {
+            assert_eq!(validate(ok), Ok(()), "rejected: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"k\": }",
+            "{\"k\" 1}",
+            "01",
+            "1.e5",
+            "\"unterminated",
+            "nulll",
+            "[1] trailing",
+            "{'single': 1}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_validate() {
+        let s = escape("a \"b\"\n\tc\\");
+        assert_eq!(validate(&format!("\"{s}\"")), Ok(()));
+    }
+}

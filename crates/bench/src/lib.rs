@@ -12,6 +12,7 @@ use coma_types::{LatencyConfig, MemoryPressure};
 use coma_workloads::{AppId, Scale};
 
 pub mod harness;
+pub mod json;
 
 /// Trace scale used by all benches.
 pub const BENCH_SCALE: Scale = Scale::SMOKE;

@@ -52,18 +52,12 @@ impl AttractionMemory {
 
     /// Current state of a line (Invalid if absent). Does not touch LRU.
     pub fn state(&self, line: LineNum) -> AmState {
-        self.array
-            .peek(line)
-            .map(|e| e.state)
-            .unwrap_or(AmState::Invalid)
+        self.array.peek(line).unwrap_or(AmState::Invalid)
     }
 
     /// State of a line, marking it most-recently-used.
     pub fn touch(&mut self, line: LineNum) -> AmState {
-        self.array
-            .lookup(line)
-            .map(|e| e.state)
-            .unwrap_or(AmState::Invalid)
+        self.array.lookup(line).unwrap_or(AmState::Invalid)
     }
 
     /// Transition a resident line to a new valid state; no-op if absent.
@@ -82,34 +76,32 @@ impl AttractionMemory {
 
     /// Decide what must be displaced so that `line` can be inserted into
     /// its set. Does **not** perform the insertion or the displacement.
+    /// One scan of the set — which visits in recency order, so the *last*
+    /// visit of a kind is its LRU — collects the overall and Shared-only
+    /// LRU entries that both victim policies choose between.
     pub fn make_room(&self, line: LineNum) -> Victim {
         if self.array.has_free_slot(line) {
             return Victim::FreeSlot;
         }
-        match self.victim_policy {
-            VictimPolicy::SharedFirst => {
-                if let Some(e) = self
-                    .array
-                    .lru_matching(line, |e| e.state == AmState::Shared)
-                {
-                    Victim::DropShared(e.line)
-                } else {
-                    let e = self
-                        .array
-                        .lru_matching(line, |_| true)
-                        .expect("full set is non-empty");
-                    Victim::Inject(e.line, e.state)
-                }
+        let mut lru_any: Option<(LineNum, AmState)> = None;
+        let mut lru_shared: Option<LineNum> = None;
+        self.array.scan_set(line, |l, s| {
+            lru_any = Some((l, s));
+            if s == AmState::Shared {
+                lru_shared = Some(l);
             }
+        });
+        let (lru_line, lru_state) = lru_any.expect("full set is non-empty");
+        match self.victim_policy {
+            VictimPolicy::SharedFirst => match lru_shared {
+                Some(l) => Victim::DropShared(l),
+                None => Victim::Inject(lru_line, lru_state),
+            },
             VictimPolicy::StrictLru => {
-                let e = self
-                    .array
-                    .lru_matching(line, |_| true)
-                    .expect("full set is non-empty");
-                if e.state == AmState::Shared {
-                    Victim::DropShared(e.line)
+                if lru_state == AmState::Shared {
+                    Victim::DropShared(lru_line)
                 } else {
-                    Victim::Inject(e.line, e.state)
+                    Victim::Inject(lru_line, lru_state)
                 }
             }
         }
@@ -122,14 +114,24 @@ impl AttractionMemory {
     ///
     /// A node that already holds the line cannot be its receiver.
     pub fn accept_slot(&self, line: LineNum, policy: AcceptPolicy) -> Option<AcceptSlot> {
-        if self.state(line).is_valid() {
+        // One scan answers all three questions: already resident?, set
+        // occupancy, and the LRU Shared replica (the last Shared visited,
+        // since the scan runs most-recent first) if any.
+        let mut resident = false;
+        let mut occupied = 0usize;
+        let mut lru_shared: Option<LineNum> = None;
+        self.array.scan_set(line, |l, s| {
+            resident |= l == line;
+            occupied += 1;
+            if s == AmState::Shared {
+                lru_shared = Some(l);
+            }
+        });
+        if resident {
             return None;
         }
-        let free = self.array.has_free_slot(line);
-        let shared = self
-            .array
-            .lru_matching(line, |e| e.state == AmState::Shared)
-            .map(|e| AcceptSlot::Shared(e.line));
+        let free = occupied < self.array.assoc();
+        let shared = lru_shared.map(AcceptSlot::Shared);
         match policy {
             AcceptPolicy::InvalidThenShared => {
                 if free {
@@ -178,8 +180,8 @@ impl AttractionMemory {
         let mut s = 0;
         let mut o = 0;
         let mut e = 0;
-        for entry in self.array.iter() {
-            match entry.state {
+        for (_, state) in self.array.iter() {
+            match state {
                 AmState::Shared => s += 1,
                 AmState::Owner => o += 1,
                 AmState::Exclusive => e += 1,
@@ -191,7 +193,7 @@ impl AttractionMemory {
 
     /// Iterate resident lines (for invariant checks).
     pub fn lines(&self) -> impl Iterator<Item = (LineNum, AmState)> + '_ {
-        self.array.iter().map(|e| (e.line, e.state))
+        self.array.iter()
     }
 
     pub fn n_sets(&self) -> u64 {

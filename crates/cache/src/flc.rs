@@ -6,7 +6,7 @@
 //! count as *busy* time; writes complete locally only when the slot is
 //! writable, otherwise they drain through the write buffer into the SLC.
 
-use coma_types::LineNum;
+use coma_types::{FastMod, LineNum};
 
 #[derive(Clone, Copy, Debug)]
 struct Slot {
@@ -18,6 +18,9 @@ struct Slot {
 #[derive(Clone, Debug)]
 pub struct Flc {
     slots: Vec<Option<Slot>>,
+    /// Division-free slot mapping: the FLC is probed on every single
+    /// memory reference, so even one hardware modulo here is measurable.
+    idx_mod: FastMod,
 }
 
 impl Flc {
@@ -26,12 +29,13 @@ impl Flc {
         assert!(n_sets > 0);
         Flc {
             slots: vec![None; n_sets as usize],
+            idx_mod: FastMod::new(n_sets),
         }
     }
 
     #[inline]
     fn idx(&self, line: LineNum) -> usize {
-        (line.0 % self.slots.len() as u64) as usize
+        self.idx_mod.reduce(line.0) as usize
     }
 
     /// Is the line resident (readable)?

@@ -26,6 +26,6 @@ pub mod state;
 pub use am::{AcceptSlot, AttractionMemory, Victim};
 pub use flc::Flc;
 pub use policy::{AcceptPolicy, VictimPolicy};
-pub use set_assoc::{Entry, SetAssoc};
+pub use set_assoc::SetAssoc;
 pub use slc::Slc;
 pub use state::{AmState, SlcState};

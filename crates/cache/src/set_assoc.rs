@@ -1,18 +1,39 @@
 //! Generic set-associative cache array with true-LRU within each set.
 //!
-//! Only valid entries are stored, so a set with free capacity simply has
-//! fewer than `assoc` entries. LRU is tracked with a monotone per-cache
-//! tick; with ≤ 8 ways a linear scan is faster than any fancier structure.
+//! The array is one flat slab of packed `(line, state)` slots: set `i`
+//! owns the stride `[i * assoc, (i + 1) * assoc)`, with its valid entries
+//! compacted at the front **in recency order** (slot 0 of the stride is
+//! most-recently-used, the last valid slot is the LRU victim) and a
+//! `NO_LINE` sentinel terminating the run. Recency *is* the storage
+//! order: a hit rotates its slot to the front of the stride, an insert
+//! shifts the stride down and writes the front, and the eviction victim
+//! is simply the stride's last slot — exactly the order a unique
+//! monotone-tick true-LRU would produce, with no tick, per-slot LRU word,
+//! or per-set length to maintain.
+//!
+//! The layout is the point: a 4-way set of 16-byte slots is one 64-byte
+//! cache line, so a probe — hit, miss, or evicting fill — touches a
+//! single line of one array. Attraction memories are sized to a fraction
+//! of the *working set* and do not fit in the host's caches; splitting
+//! lines, states, and LRU ticks across parallel arrays (a previous
+//! incarnation of this type) costs several DRAM misses per probe where
+//! this layout pays one. The rotation memmove is at most `assoc - 1`
+//! slots within that same line.
+//!
+//! Set indexing uses a precomputed [`FastMod`] because set counts are not
+//! powers of two (the paper's "odd cache sizes").
 
-use coma_types::LineNum;
+use coma_types::{FastMod, LineNum};
 
-/// One valid cache entry.
-#[derive(Clone, Debug)]
-pub struct Entry<S> {
-    pub line: LineNum,
-    pub state: S,
-    /// Last-use tick for LRU ordering (larger = more recent).
-    pub lru: u64,
+/// Sentinel marking an empty slot. Line numbers are addresses divided by
+/// the line size, so the top of the `u64` range is unreachable.
+const NO_LINE: LineNum = LineNum(u64::MAX);
+
+/// One packed cache slot: the resident line and its protocol state.
+#[derive(Clone, Copy, Debug)]
+struct Slot<S> {
+    line: LineNum,
+    state: S,
 }
 
 /// A set-associative array of `n_sets × assoc` line slots.
@@ -20,19 +41,33 @@ pub struct Entry<S> {
 pub struct SetAssoc<S> {
     n_sets: u64,
     assoc: usize,
-    sets: Vec<Vec<Entry<S>>>,
-    tick: u64,
+    set_mod: FastMod,
+    /// `n_sets * assoc` slots; each stride holds its valid entries at the
+    /// front, most-recent first, then `NO_LINE` padding.
+    slots: Vec<Slot<S>>,
+    len: usize,
 }
 
-impl<S: Copy> SetAssoc<S> {
+impl<S: Copy + Default> SetAssoc<S> {
     /// Create an empty array. `n_sets` and `assoc` must be non-zero.
     pub fn new(n_sets: u64, assoc: usize) -> Self {
         assert!(n_sets > 0 && assoc > 0);
+        assert!(assoc <= u16::MAX as usize);
+        let slots = (n_sets as usize)
+            .checked_mul(assoc)
+            .expect("cache slot count overflows usize");
         SetAssoc {
             n_sets,
             assoc,
-            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
-            tick: 0,
+            set_mod: FastMod::new(n_sets),
+            slots: vec![
+                Slot {
+                    line: NO_LINE,
+                    state: S::default()
+                };
+                slots
+            ],
+            len: 0,
         }
     }
 
@@ -47,81 +82,153 @@ impl<S: Copy> SetAssoc<S> {
     }
 
     /// Total valid entries across all sets.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.len
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.sets.iter().all(Vec::is_empty)
+        self.len == 0
     }
 
     /// Set index for a line.
     #[inline]
     pub fn set_of(&self, line: LineNum) -> u64 {
-        line.set_index(self.n_sets)
+        self.set_mod.reduce(line.0)
     }
 
-    /// Look up a line without touching LRU state.
-    pub fn peek(&self, line: LineNum) -> Option<&Entry<S>> {
-        self.sets[self.set_of(line) as usize]
-            .iter()
-            .find(|e| e.line == line)
+    /// Stride base of the set that `line` maps to.
+    #[inline]
+    fn base_of(&self, line: LineNum) -> usize {
+        self.set_of(line) as usize * self.assoc
     }
 
-    /// Look up a line, marking it most-recently-used on hit.
-    pub fn lookup(&mut self, line: LineNum) -> Option<&mut Entry<S>> {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_of(line) as usize;
-        let e = self.sets[set].iter_mut().find(|e| e.line == line)?;
-        e.lru = tick;
-        Some(e)
+    /// Slot index of `line` if resident.
+    #[inline]
+    fn find(&self, line: LineNum) -> Option<usize> {
+        let base = self.base_of(line);
+        for i in base..base + self.assoc {
+            let l = self.slots[i].line;
+            if l == line {
+                return Some(i);
+            }
+            if l == NO_LINE {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// State of a line without touching LRU state.
+    #[inline]
+    pub fn peek(&self, line: LineNum) -> Option<S> {
+        self.find(line).map(|i| self.slots[i].state)
+    }
+
+    /// State of a line, marking it most-recently-used on hit.
+    #[inline]
+    pub fn lookup(&mut self, line: LineNum) -> Option<S> {
+        let i = self.find(line)?;
+        let hit = self.slots[i];
+        let base = self.base_of(line);
+        self.slots.copy_within(base..i, base + 1);
+        self.slots[base] = hit;
+        Some(hit.state)
     }
 
     /// Update the state of a resident line; returns false if not present.
+    /// Does not touch LRU order.
     pub fn set_state(&mut self, line: LineNum, state: S) -> bool {
-        let set = self.set_of(line) as usize;
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.line == line) {
-            e.state = state;
-            true
-        } else {
-            false
+        match self.find(line) {
+            Some(i) => {
+                self.slots[i].state = state;
+                true
+            }
+            None => false,
         }
     }
 
-    /// Remove a line; returns its state if it was present.
+    /// Remove a line; returns its state if it was present. The stride is
+    /// shifted up (not swap-removed) so the survivors keep their recency
+    /// order.
     pub fn remove(&mut self, line: LineNum) -> Option<S> {
-        let set = self.set_of(line) as usize;
-        let idx = self.sets[set].iter().position(|e| e.line == line)?;
-        Some(self.sets[set].swap_remove(idx).state)
+        let i = self.find(line)?;
+        let state = self.slots[i].state;
+        let base = self.base_of(line);
+        let last = base + self.assoc - 1;
+        self.slots.copy_within(i + 1..last + 1, i);
+        self.slots[last].line = NO_LINE;
+        self.len -= 1;
+        Some(state)
     }
 
     /// Does the line's set have a free slot?
+    #[inline]
     pub fn has_free_slot(&self, line: LineNum) -> bool {
-        self.sets[self.set_of(line) as usize].len() < self.assoc
+        let base = self.base_of(line);
+        self.slots[base + self.assoc - 1].line == NO_LINE
     }
 
     /// Insert a line known to be absent. Panics (debug) if the set is full
     /// or the line already resident — callers must evict first.
     pub fn insert(&mut self, line: LineNum, state: S) {
-        self.tick += 1;
-        let tick = self.tick;
-        let set = self.set_of(line) as usize;
-        debug_assert!(self.sets[set].len() < self.assoc, "insert into full set");
-        debug_assert!(
-            !self.sets[set].iter().any(|e| e.line == line),
-            "duplicate insert"
-        );
-        self.sets[set].push(Entry {
-            line,
-            state,
-            lru: tick,
-        });
+        debug_assert_ne!(line, NO_LINE, "sentinel inserted as a real line");
+        debug_assert!(self.find(line).is_none(), "duplicate insert");
+        let base = self.base_of(line);
+        let last = base + self.assoc - 1;
+        debug_assert_eq!(self.slots[last].line, NO_LINE, "insert into full set");
+        self.slots.copy_within(base..last, base + 1);
+        self.slots[base] = Slot { line, state };
+        self.len += 1;
     }
 
-    /// Iterate over the valid entries of the set that `line` maps to.
-    pub fn set_entries(&self, line: LineNum) -> &[Entry<S>] {
-        &self.sets[self.set_of(line) as usize]
+    /// Fused update-or-insert-with-eviction (the SLC fill path), costing a
+    /// single pass over the set where the naive peek / free-slot check /
+    /// LRU-victim search / remove / insert sequence costs five.
+    ///
+    /// If `line` is resident its state is updated in place (no LRU touch,
+    /// matching the unfused sequence). Otherwise `line` is inserted
+    /// most-recently-used, evicting the set's true-LRU entry — the last
+    /// valid slot — if the set is full; the evicted `(line, state)` is
+    /// returned.
+    pub fn insert_evicting(&mut self, line: LineNum, state: S) -> Option<(LineNum, S)> {
+        debug_assert_ne!(line, NO_LINE, "sentinel inserted as a real line");
+        let base = self.base_of(line);
+        let last = base + self.assoc - 1;
+        for i in base..base + self.assoc {
+            if self.slots[i].line == line {
+                self.slots[i].state = state;
+                return None;
+            }
+        }
+        let evicted = match self.slots[last].line {
+            NO_LINE => {
+                self.len += 1;
+                None
+            }
+            l => Some((l, self.slots[last].state)),
+        };
+        self.slots.copy_within(base..last, base + 1);
+        self.slots[base] = Slot { line, state };
+        evicted
+    }
+
+    /// Visit every valid entry of the set that `line` maps to, in recency
+    /// order: most-recently-used first, the LRU victim last. One
+    /// contiguous pass — callers that need several facts about a set
+    /// (occupancy, LRU victim under a predicate, residency) fold them out
+    /// of a single scan, taking the *last* matching visit where they want
+    /// the least-recent entry.
+    #[inline]
+    pub fn scan_set(&self, line: LineNum, mut visit: impl FnMut(LineNum, S)) {
+        let base = self.base_of(line);
+        for slot in &self.slots[base..base + self.assoc] {
+            if slot.line == NO_LINE {
+                break;
+            }
+            visit(slot.line, slot.state);
+        }
     }
 
     /// Least-recently-used entry of `line`'s set among entries matching
@@ -129,34 +236,25 @@ impl<S: Copy> SetAssoc<S> {
     pub fn lru_matching(
         &self,
         line: LineNum,
-        mut pred: impl FnMut(&Entry<S>) -> bool,
-    ) -> Option<&Entry<S>> {
-        self.sets[self.set_of(line) as usize]
-            .iter()
-            .filter(|e| pred(e))
-            .min_by_key(|e| e.lru)
+        mut pred: impl FnMut(LineNum, S) -> bool,
+    ) -> Option<(LineNum, S)> {
+        let mut best = None;
+        self.scan_set(line, |l, s| {
+            if pred(l, s) {
+                best = Some((l, s));
+            }
+        });
+        best
     }
 
     /// Iterate over all valid entries (diagnostics / invariant checks).
-    pub fn iter(&self) -> impl Iterator<Item = &Entry<S>> {
-        self.sets.iter().flatten()
-    }
-
-    /// Remove every entry failing the predicate, calling `on_evict` for each.
-    pub fn retain(
-        &mut self,
-        mut keep: impl FnMut(&Entry<S>) -> bool,
-        mut on_evict: impl FnMut(&Entry<S>),
-    ) {
-        for set in &mut self.sets {
-            set.retain(|e| {
-                let k = keep(e);
-                if !k {
-                    on_evict(e);
-                }
-                k
-            });
-        }
+    pub fn iter(&self) -> impl Iterator<Item = (LineNum, S)> + '_ {
+        self.slots.chunks_exact(self.assoc).flat_map(|stride| {
+            stride
+                .iter()
+                .take_while(|slot| slot.line != NO_LINE)
+                .map(|slot| (slot.line, slot.state))
+        })
     }
 }
 
@@ -172,7 +270,7 @@ mod tests {
     fn insert_and_lookup() {
         let mut c = arr(4, 2);
         c.insert(LineNum(5), 1);
-        assert_eq!(c.lookup(LineNum(5)).unwrap().state, 1);
+        assert_eq!(c.lookup(LineNum(5)), Some(1));
         assert!(c.lookup(LineNum(9)).is_none()); // same set (9 % 4 == 1), absent
     }
 
@@ -195,8 +293,8 @@ mod tests {
         c.insert(LineNum(2), 0);
         // Touch 0, making 1 the LRU.
         c.lookup(LineNum(0));
-        let lru = c.lru_matching(LineNum(0), |_| true).unwrap();
-        assert_eq!(lru.line, LineNum(1));
+        let (lru, _) = c.lru_matching(LineNum(0), |_, _| true).unwrap();
+        assert_eq!(lru, LineNum(1));
     }
 
     #[test]
@@ -205,18 +303,38 @@ mod tests {
         c.insert(LineNum(0), 10);
         c.insert(LineNum(1), 20);
         c.insert(LineNum(2), 10);
-        let lru20 = c.lru_matching(LineNum(0), |e| e.state == 20).unwrap();
-        assert_eq!(lru20.line, LineNum(1));
-        assert!(c.lru_matching(LineNum(0), |e| e.state == 99).is_none());
+        let (lru20, _) = c.lru_matching(LineNum(0), |_, s| s == 20).unwrap();
+        assert_eq!(lru20, LineNum(1));
+        assert!(c.lru_matching(LineNum(0), |_, s| s == 99).is_none());
     }
 
     #[test]
-    fn remove_returns_state() {
+    fn remove_returns_state_and_compacts() {
         let mut c = arr(2, 2);
         c.insert(LineNum(3), 7);
         assert_eq!(c.remove(LineNum(3)), Some(7));
         assert_eq!(c.remove(LineNum(3)), None);
         assert_eq!(c.len(), 0);
+        // Removing the front of a full stride keeps the survivor findable.
+        c.insert(LineNum(1), 1);
+        c.insert(LineNum(3), 3);
+        assert_eq!(c.remove(LineNum(1)), Some(1));
+        assert_eq!(c.peek(LineNum(3)), Some(3));
+        assert!(c.has_free_slot(LineNum(3)));
+    }
+
+    #[test]
+    fn remove_preserves_recency_of_survivors() {
+        let mut c = arr(1, 3);
+        c.insert(LineNum(0), 0);
+        c.insert(LineNum(1), 1);
+        c.insert(LineNum(2), 2);
+        // Recency: 2 > 1 > 0. Removing 1 must keep 0 as the LRU.
+        c.remove(LineNum(1));
+        assert_eq!(
+            c.lru_matching(LineNum(0), |_, _| true).unwrap().0,
+            LineNum(0)
+        );
     }
 
     #[test]
@@ -224,7 +342,7 @@ mod tests {
         let mut c = arr(2, 2);
         c.insert(LineNum(3), 7);
         assert!(c.set_state(LineNum(3), 9));
-        assert_eq!(c.peek(LineNum(3)).unwrap().state, 9);
+        assert_eq!(c.peek(LineNum(3)), Some(9));
         assert!(!c.set_state(LineNum(5), 1));
     }
 
@@ -236,21 +354,74 @@ mod tests {
         c.peek(LineNum(0));
         // 0 was inserted first and peek didn't refresh it: still LRU.
         assert_eq!(
-            c.lru_matching(LineNum(0), |_| true).unwrap().line,
+            c.lru_matching(LineNum(0), |_, _| true).unwrap().0,
             LineNum(0)
         );
     }
 
     #[test]
-    fn retain_evicts_and_reports() {
+    fn insert_evicting_updates_resident_in_place() {
+        let mut c = arr(1, 1);
+        c.insert(LineNum(0), 1);
+        assert_eq!(c.insert_evicting(LineNum(0), 2), None);
+        assert_eq!(c.peek(LineNum(0)), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn insert_evicting_evicts_true_lru() {
+        let mut c = arr(1, 2);
+        c.insert(LineNum(0), 10);
+        c.insert(LineNum(1), 11);
+        c.lookup(LineNum(0)); // 1 becomes LRU
+        assert_eq!(c.insert_evicting(LineNum(2), 12), Some((LineNum(1), 11)));
+        assert_eq!(c.peek(LineNum(2)), Some(12));
+        assert_eq!(c.peek(LineNum(0)), Some(10));
+        assert_eq!(c.len(), 2);
+        // The fresh insert is MRU: next eviction takes line 0.
+        assert_eq!(c.insert_evicting(LineNum(3), 13), Some((LineNum(0), 10)));
+    }
+
+    #[test]
+    fn insert_evicting_uses_free_slot_first() {
+        let mut c = arr(1, 2);
+        c.insert(LineNum(0), 1);
+        assert_eq!(c.insert_evicting(LineNum(1), 2), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn scan_set_sees_only_own_set() {
         let mut c = arr(2, 2);
         c.insert(LineNum(0), 1);
         c.insert(LineNum(1), 2);
-        c.insert(LineNum(2), 1);
-        let mut evicted = Vec::new();
-        c.retain(|e| e.state != 1, |e| evicted.push(e.line));
-        assert_eq!(c.len(), 1);
-        assert_eq!(evicted.len(), 2);
+        c.insert(LineNum(2), 3);
+        let mut seen = Vec::new();
+        c.scan_set(LineNum(0), |l, s| seen.push((l.0, s)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn scan_set_visits_mru_first() {
+        let mut c = arr(1, 3);
+        c.insert(LineNum(0), 0);
+        c.insert(LineNum(1), 1);
+        c.insert(LineNum(2), 2);
+        c.lookup(LineNum(1));
+        let mut order = Vec::new();
+        c.scan_set(LineNum(0), |l, _| order.push(l.0));
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count() {
+        let mut c = arr(13, 2);
+        c.insert(LineNum(5), 1);
+        c.insert(LineNum(18), 2); // 18 % 13 == 5: same set
+        assert!(!c.has_free_slot(LineNum(5)));
+        assert_eq!(c.peek(LineNum(18)), Some(2));
+        assert_eq!(c.peek(LineNum(31)), None);
     }
 
     #[test]

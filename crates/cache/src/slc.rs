@@ -27,18 +27,12 @@ impl Slc {
 
     /// State of a resident line (Invalid if absent). Touches LRU.
     pub fn lookup(&mut self, line: LineNum) -> SlcState {
-        self.array
-            .lookup(line)
-            .map(|e| e.state)
-            .unwrap_or(SlcState::Invalid)
+        self.array.lookup(line).unwrap_or(SlcState::Invalid)
     }
 
     /// State without touching LRU.
     pub fn peek(&self, line: LineNum) -> SlcState {
-        self.array
-            .peek(line)
-            .map(|e| e.state)
-            .unwrap_or(SlcState::Invalid)
+        self.array.peek(line).unwrap_or(SlcState::Invalid)
     }
 
     /// Insert a line, evicting the set's LRU entry if the set is full.
@@ -46,23 +40,7 @@ impl Slc {
     /// must be written back to the AM by the caller.
     pub fn insert(&mut self, line: LineNum, state: SlcState) -> Option<(LineNum, SlcState)> {
         debug_assert!(state.is_valid());
-        if self.array.peek(line).is_some() {
-            self.array.set_state(line, state);
-            return None;
-        }
-        let evicted = if self.array.has_free_slot(line) {
-            None
-        } else {
-            let victim = self
-                .array
-                .lru_matching(line, |_| true)
-                .map(|e| (e.line, e.state))
-                .expect("full set has entries");
-            self.array.remove(victim.0);
-            Some(victim)
-        };
-        self.array.insert(line, state);
-        evicted
+        self.array.insert_evicting(line, state)
     }
 
     /// Change the state of a resident line; no-op if absent.
@@ -82,7 +60,7 @@ impl Slc {
     /// Downgrade Modified → Shared (another reader appeared). Returns true
     /// if the line was Modified (i.e. a writeback of current data occurs).
     pub fn downgrade(&mut self, line: LineNum) -> bool {
-        match self.array.peek(line).map(|e| e.state) {
+        match self.array.peek(line) {
             Some(SlcState::Modified) => {
                 self.array.set_state(line, SlcState::Shared);
                 true
@@ -102,7 +80,7 @@ impl Slc {
 
     /// Iterate resident lines (for invariant checks).
     pub fn lines(&self) -> impl Iterator<Item = (LineNum, SlcState)> + '_ {
-        self.array.iter().map(|e| (e.line, e.state))
+        self.array.iter()
     }
 }
 

@@ -22,20 +22,26 @@ enum ArrOp {
     Insert(u64, u8),
     Remove(u64),
     SetState(u64, u8),
+    /// The fused fill path (`insert_evicting`): update in place, or insert
+    /// evicting the set's LRU entry when full.
+    InsertEvicting(u64, u8),
 }
 
 fn random_op(rng: &mut Rng64, max_line: u64) -> ArrOp {
     let l = rng.below(max_line);
-    match rng.below(4) {
+    match rng.below(5) {
         0 => ArrOp::Lookup(l),
         1 => ArrOp::Insert(l, rng.below(256) as u8),
         2 => ArrOp::Remove(l),
-        _ => ArrOp::SetState(l, rng.below(256) as u8),
+        3 => ArrOp::SetState(l, rng.below(256) as u8),
+        _ => ArrOp::InsertEvicting(l, rng.below(256) as u8),
     }
 }
 
-/// SetAssoc agrees with a naive reference model under arbitrary op
-/// sequences, including LRU victim identity.
+/// The flat structure-of-arrays SetAssoc is observationally equivalent to
+/// a naive per-set-vector reference model (the shape of the pre-flattening
+/// implementation) under arbitrary op sequences, including LRU victim
+/// identity and the fused insert path.
 #[test]
 fn set_assoc_matches_reference_model() {
     let mut rng = Rng64::new(0xCACE);
@@ -49,7 +55,7 @@ fn set_assoc_matches_reference_model() {
             match random_op(&mut rng, 64) {
                 ArrOp::Lookup(l) => {
                     let set = (l % n_sets) as usize;
-                    let got = arr.lookup(LineNum(l)).map(|e| e.state);
+                    let got = arr.lookup(LineNum(l));
                     let want = model[set]
                         .entries
                         .iter()
@@ -93,6 +99,25 @@ fn set_assoc_matches_reference_model() {
                         model[set].entries[p].1 = s;
                     }
                 }
+                ArrOp::InsertEvicting(l, s) => {
+                    let set = (l % n_sets) as usize;
+                    let got = arr.insert_evicting(LineNum(l), s);
+                    let pos = model[set].entries.iter().position(|(x, _)| *x == l);
+                    let want = if let Some(p) = pos {
+                        // Present: state updated in place, no LRU refresh.
+                        model[set].entries[p].1 = s;
+                        None
+                    } else if model[set].entries.len() < assoc {
+                        model[set].entries.push((l, s));
+                        None
+                    } else {
+                        // Full: the front of the model vec is the LRU.
+                        let victim = model[set].entries.remove(0);
+                        model[set].entries.push((l, s));
+                        Some(victim)
+                    };
+                    assert_eq!(got.map(|(l, s)| (l.0, s)), want);
+                }
             }
             // Structural agreement after every op.
             assert_eq!(
@@ -103,7 +128,7 @@ fn set_assoc_matches_reference_model() {
         // LRU victims agree set by set.
         for s in 0..n_sets {
             let line = LineNum(s);
-            let got = arr.lru_matching(line, |_| true).map(|e| e.line.0);
+            let got = arr.lru_matching(line, |_, _| true).map(|(l, _)| l.0);
             let want = model[s as usize].entries.first().map(|(l, _)| *l);
             assert_eq!(got, want, "LRU mismatch in set {s}");
         }

@@ -1,27 +1,84 @@
 //! Run every experiment in sequence (Table 1, Figures 2–5, sensitivity,
 //! thresholds, ablations) by invoking the sibling binaries.
+//!
+//! The siblings are looked up next to this executable, so they exist iff
+//! the whole package was built (`cargo build --release -p
+//! coma-experiments` or `cargo run ... --bin all`, which builds every
+//! bin). A missing sibling aborts up front with the build command rather
+//! than an opaque I/O panic halfway through the sweep.
+//!
+//! The experiment knobs — `COMA_SCALE`, `COMA_SEED`, `COMA_OUT`,
+//! `COMA_THREADS` — are forwarded to each child explicitly, so the whole
+//! sweep runs under one configuration even if the environment changes
+//! mid-run or a child is spawned through a wrapper that scrubs its
+//! environment.
 
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
-fn main() {
+const BINS: [&str; 10] = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "sensitivity",
+    "thresholds",
+    "coma_vs_numa",
+    "inclusion",
+    "ablation",
+];
+
+/// The knobs every experiment binary reads (see `coma_experiments` docs).
+const ENV_KNOBS: [&str; 4] = ["COMA_SCALE", "COMA_SEED", "COMA_OUT", "COMA_THREADS"];
+
+fn main() -> ExitCode {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    for bin in [
-        "table1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "sensitivity",
-        "thresholds",
-        "coma_vs_numa",
-        "inclusion",
-        "ablation",
-    ] {
-        println!("\n=== {bin} ===\n");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+    let ext = std::env::consts::EXE_SUFFIX;
+
+    // Verify every sibling exists before running any: failing on the
+    // ninth binary after an hour of sweeps is the worst outcome.
+    let missing: Vec<&str> = BINS
+        .iter()
+        .copied()
+        .filter(|bin| !dir.join(format!("{bin}{ext}")).is_file())
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "error: experiment binaries not built: {}\n\
+             build them all first:\n    cargo build --release -p coma-experiments",
+            missing.join(", ")
+        );
+        return ExitCode::FAILURE;
     }
+
+    let knobs: Vec<(&str, String)> = ENV_KNOBS
+        .iter()
+        .filter_map(|k| std::env::var(*k).ok().map(|v| (*k, v)))
+        .collect();
+    if !knobs.is_empty() {
+        let desc: Vec<String> = knobs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("[all] forwarding {}", desc.join(" "));
+    }
+
+    for bin in BINS {
+        println!("\n=== {bin} ===\n");
+        let mut cmd = Command::new(dir.join(format!("{bin}{ext}")));
+        for (k, v) in &knobs {
+            cmd.env(k, v);
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("error: {bin} exited with {status}; aborting the sweep");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: failed to launch {bin}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("\n[all] {} experiments completed", BINS.len());
+    ExitCode::SUCCESS
 }

@@ -7,41 +7,15 @@
 //! consistent with the per-node attraction memories, which the engine's
 //! invariant checker verifies.
 //!
-//! Keys are line numbers; a Fibonacci-multiply hasher replaces SipHash
-//! because this map sits on the hot path of every simulated miss.
+//! Keys are line numbers; the map is an in-repo open-addressing table
+//! ([`OpenTable`]) because this lookup sits on the hot path of every
+//! simulated miss — see the module docs of [`crate::table`].
 
+use crate::table::OpenTable;
 use coma_types::{LineNum, NodeId};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// Multiply-shift hasher for line numbers (already well-distributed keys).
-#[derive(Default)]
-pub struct LineHasher(u64);
-
-impl Hasher for LineHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Fallback for non-u64 keys; not used on the hot path.
-        for &b in bytes {
-            self.0 = self.0.rotate_left(8) ^ b as u64;
-        }
-        self.0 = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, i: u64) {
-        self.0 = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-}
-
-type LineMap<V> = HashMap<LineNum, V, BuildHasherDefault<LineHasher>>;
 
 /// Where a live line's copies are.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct LineInfo {
     /// Node holding the responsible (Owner or Exclusive) copy.
     pub owner: NodeId,
@@ -55,17 +29,25 @@ impl LineInfo {
         self.sharers.count_ones()
     }
 
-    /// Nodes in the sharer set, ascending.
+    /// Nodes in the sharer set, ascending (bit-scan, no per-call
+    /// allocation; cost proportional to the population count).
     pub fn sharer_nodes(self) -> impl Iterator<Item = NodeId> {
-        let mask = self.sharers;
-        (0..16u16).filter(move |i| mask & (1 << i) != 0).map(NodeId)
+        let mut mask = self.sharers;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                return None;
+            }
+            let i = mask.trailing_zeros() as u16;
+            mask &= mask - 1;
+            Some(NodeId(i))
+        })
     }
 }
 
 /// The machine-wide line directory.
 #[derive(Clone, Debug, Default)]
 pub struct Directory {
-    map: LineMap<LineInfo>,
+    map: OpenTable<LineInfo>,
 }
 
 impl Directory {
@@ -76,31 +58,31 @@ impl Directory {
     /// Look up a live line.
     #[inline]
     pub fn get(&self, line: LineNum) -> Option<LineInfo> {
-        self.map.get(&line).copied()
+        self.map.get(line.0)
     }
 
     /// Is the line live anywhere in the machine?
     #[inline]
     pub fn contains(&self, line: LineNum) -> bool {
-        self.map.contains_key(&line)
+        self.map.contains(line.0)
     }
 
     /// Register a brand-new line with a sole (Exclusive) copy.
     pub fn insert_sole(&mut self, line: LineNum, owner: NodeId) {
-        let prev = self.map.insert(line, LineInfo { owner, sharers: 0 });
+        let prev = self.map.insert(line.0, LineInfo { owner, sharers: 0 });
         debug_assert!(prev.is_none(), "line {line:?} already live");
     }
 
     /// Add a Shared replica holder.
     pub fn add_sharer(&mut self, line: LineNum, node: NodeId) {
-        let info = self.map.get_mut(&line).expect("sharer of dead line");
+        let info = self.map.get_mut(line.0).expect("sharer of dead line");
         debug_assert_ne!(info.owner, node, "owner cannot also be a sharer");
         info.sharers |= 1 << node.0;
     }
 
     /// Drop a Shared replica holder.
     pub fn remove_sharer(&mut self, line: LineNum, node: NodeId) {
-        if let Some(info) = self.map.get_mut(&line) {
+        if let Some(info) = self.map.get_mut(line.0) {
             info.sharers &= !(1 << node.0);
         }
     }
@@ -116,21 +98,21 @@ impl Directory {
     /// afterward). Keeps the remaining sharer set unless cleared by the
     /// caller.
     pub fn set_owner(&mut self, line: LineNum, node: NodeId) {
-        let info = self.map.get_mut(&line).expect("owner of dead line");
+        let info = self.map.get_mut(line.0).expect("owner of dead line");
         info.owner = node;
         info.sharers &= !(1 << node.0);
     }
 
     /// Replace the sharer set wholesale (used by write invalidations).
     pub fn clear_sharers(&mut self, line: LineNum) {
-        if let Some(info) = self.map.get_mut(&line) {
+        if let Some(info) = self.map.get_mut(line.0) {
             info.sharers = 0;
         }
     }
 
     /// Remove a line entirely (page-out).
     pub fn remove(&mut self, line: LineNum) -> Option<LineInfo> {
-        self.map.remove(&line)
+        self.map.remove(line.0)
     }
 
     /// Number of live lines.
@@ -144,7 +126,7 @@ impl Directory {
 
     /// Iterate all live lines (invariant checking).
     pub fn iter(&self) -> impl Iterator<Item = (LineNum, LineInfo)> + '_ {
-        self.map.iter().map(|(l, i)| (*l, *i))
+        self.map.iter().map(|(l, i)| (LineNum(l), *i))
     }
 }
 

@@ -25,14 +25,13 @@ mod read_path;
 mod replacement;
 mod write_path;
 
-use crate::directory::{Directory, LineHasher};
+use crate::directory::Directory;
 use crate::node::NodeState;
 use crate::outcome::Outcome;
+use crate::table::{OpenTable, PageHomes};
 use coma_cache::{AcceptPolicy, AcceptSlot, AmState, SlcState, Victim, VictimPolicy};
 use coma_stats::{CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic};
 use coma_types::{LineNum, MachineGeometry, NodeId, ProcId, LINE_SHIFT, PAGE_SHIFT};
-use std::collections::{HashMap, HashSet};
-use std::hash::BuildHasherDefault;
 
 /// Lines per page (4096 / 64).
 const PAGE_LINES_SHIFT: u32 = PAGE_SHIFT - LINE_SHIFT;
@@ -43,9 +42,9 @@ pub struct CoherenceEngine {
     nodes: Vec<NodeState>,
     dir: Directory,
     /// On-demand page table: page number → first-touching (home) node.
-    pages: HashMap<u64, NodeId, BuildHasherDefault<LineHasher>>,
-    /// Lines currently paged out to the OS.
-    paged_out: HashSet<LineNum, BuildHasherDefault<LineHasher>>,
+    pages: PageHomes,
+    /// Lines currently paged out to the OS (an [`OpenTable`] used as a set).
+    paged_out: OpenTable<()>,
     accept_policy: AcceptPolicy,
     intra_node_transfers: bool,
     inclusive_hierarchy: bool,
@@ -88,8 +87,8 @@ impl CoherenceEngine {
             geom,
             nodes,
             dir: Directory::new(),
-            pages: HashMap::default(),
-            paged_out: HashSet::default(),
+            pages: PageHomes::new(),
+            paged_out: OpenTable::new(),
             accept_policy,
             intra_node_transfers,
             inclusive_hierarchy,
@@ -143,12 +142,10 @@ impl CoherenceEngine {
     }
 
     /// Home node of a line's page, allocating the page on first touch.
+    #[inline]
     fn home_of(&mut self, line: LineNum, toucher: usize) -> usize {
         let page = line.0 >> PAGE_LINES_SHIFT;
-        self.pages
-            .entry(page)
-            .or_insert(NodeId(toucher as u16))
-            .as_usize()
+        self.pages.home_of(page, NodeId(toucher as u16)).as_usize()
     }
 
     /// Verify every cross-structure invariant; returns a description of
@@ -248,8 +245,9 @@ impl CoherenceEngine {
             }
         }
         // Paged-out lines are dead.
-        for line in &self.paged_out {
-            if self.dir.contains(*line) {
+        for (l, ()) in self.paged_out.iter() {
+            let line = LineNum(l);
+            if self.dir.contains(line) {
                 return Err(format!("{line:?} both paged out and live"));
             }
         }

@@ -82,7 +82,7 @@ impl CoherenceEngine {
             }
             None => {
                 let home = self.home_of(line, n);
-                out.pagein = self.paged_out.remove(&line);
+                out.pagein = self.paged_out.remove(line.0).is_some();
                 if out.pagein {
                     self.emit(ProtocolEvent::ColdAlloc);
                 }

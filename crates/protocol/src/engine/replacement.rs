@@ -140,7 +140,7 @@ impl CoherenceEngine {
                     self.nodes[from].invalidate_private(line);
                 }
                 self.dir.remove(line);
-                self.paged_out.insert(line);
+                self.paged_out.insert(line.0, ());
                 self.emit(ProtocolEvent::Pageout);
                 out.pageout = true;
             }

@@ -93,7 +93,7 @@ impl CoherenceEngine {
             }
             None => {
                 let home = self.home_of(line, n);
-                out.pagein = self.paged_out.remove(&line);
+                out.pagein = self.paged_out.remove(line.0).is_some();
                 self.fill_am(n, line, AmState::Exclusive, &mut out);
                 self.dir.insert_sole(line, NodeId(n as u16));
                 self.emit(ProtocolEvent::ColdAlloc);

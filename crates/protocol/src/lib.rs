@@ -29,6 +29,7 @@ pub mod memory;
 pub mod node;
 pub mod numa;
 pub mod outcome;
+pub mod table;
 
 pub use coma_stats::ProtocolCounters;
 pub use directory::Directory;

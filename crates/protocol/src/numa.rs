@@ -18,13 +18,11 @@
 //! return the same [`Outcome`]s, so the simulator's timing model applies
 //! unchanged.
 
-use crate::directory::LineHasher;
 use crate::outcome::Outcome;
+use crate::table::{OpenTable, PageHomes};
 use coma_cache::{Flc, Slc, SlcState};
 use coma_stats::{CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic};
 use coma_types::{LineNum, MachineGeometry, NodeId, ProcId, LINE_SHIFT, PAGE_SHIFT};
-use std::collections::HashMap;
-use std::hash::BuildHasherDefault;
 
 const PAGE_LINES_SHIFT: u32 = PAGE_SHIFT - LINE_SHIFT;
 
@@ -53,8 +51,8 @@ pub struct BaselineEngine {
     kind: BaselineKind,
     slcs: Vec<Slc>,
     flcs: Vec<Flc>,
-    pages: HashMap<u64, NodeId, BuildHasherDefault<LineHasher>>,
-    dir: HashMap<LineNum, DirEntry, BuildHasherDefault<LineHasher>>,
+    pages: PageHomes,
+    dir: OpenTable<DirEntry>,
     /// Where every protocol event lands: traffic + counters (the same
     /// decomposition as the COMA bus).
     sink: CounterSink,
@@ -69,8 +67,8 @@ impl BaselineEngine {
                 .map(|_| Slc::new(geom.slc_sets, geom.slc_assoc))
                 .collect(),
             flcs: (0..geom.n_procs).map(|_| Flc::new(geom.flc_sets)).collect(),
-            pages: HashMap::default(),
-            dir: HashMap::default(),
+            pages: PageHomes::new(),
+            dir: OpenTable::new(),
             sink: CounterSink::default(),
         }
     }
@@ -99,9 +97,10 @@ impl BaselineEngine {
     }
 
     /// Home node of a line (first touch allocates the page).
+    #[inline]
     fn home_of(&mut self, line: LineNum, toucher: NodeId) -> NodeId {
         let page = line.0 >> PAGE_LINES_SHIFT;
-        *self.pages.entry(page).or_insert(toucher)
+        self.pages.home_of(page, toucher)
     }
 
     /// Level at which the home's DRAM answers for this node.
@@ -124,7 +123,7 @@ impl BaselineEngine {
             self.flcs[p].invalidate(victim);
             // Remove from the directory.
             let me = ProcId(p as u16);
-            if let Some(e) = self.dir.get_mut(&victim) {
+            if let Some(e) = self.dir.get_mut(victim.0) {
                 e.readers &= !(1 << p);
                 if e.writer == Some(me) {
                     e.writer = None;
@@ -144,7 +143,7 @@ impl BaselineEngine {
 
     /// Invalidate every cached copy except processor `keep`.
     fn invalidate_others(&mut self, line: LineNum, keep: ProcId) -> bool {
-        let Some(e) = self.dir.get_mut(&line) else {
+        let Some(e) = self.dir.get_mut(line.0) else {
             return false;
         };
         let mut had_any = false;
@@ -185,12 +184,12 @@ impl BaselineEngine {
         let home = self.home_of(line, me);
         // If some processor holds it dirty, it is written back through the
         // home first (we charge one remote transfer when the home is far).
-        let entry = self.dir.entry(line).or_default();
+        let entry = self.dir.get_or_insert(line.0, DirEntry::default());
         let writer = entry.writer;
         if let Some(w) = writer {
             self.slcs[w.as_usize()].downgrade(line);
             self.flcs[w.as_usize()].downgrade(line);
-            let e = self.dir.get_mut(&line).expect("entry exists");
+            let e = self.dir.get_mut(line.0).expect("entry exists");
             e.writer = None;
             e.readers |= 1 << w.0;
         }
@@ -201,7 +200,7 @@ impl BaselineEngine {
             out.remote_node = Some(home);
             self.sink.record(ProtocolEvent::ReadFill);
         }
-        let e = self.dir.get_mut(&line).expect("entry exists");
+        let e = self.dir.get_mut(line.0).expect("entry exists");
         e.readers |= 1 << proc.0;
         self.fill_slc(p, line, SlcState::Shared, &mut out);
         self.flcs[p].fill(line, false);
@@ -222,7 +221,7 @@ impl BaselineEngine {
         let me = proc.node(self.geom.procs_per_node);
         let home = self.home_of(line, me);
         let had_copy = self.slcs[p].peek(line) == SlcState::Shared;
-        self.dir.entry(line).or_default();
+        self.dir.get_or_insert(line.0, DirEntry::default());
         let had_others = self.invalidate_others(line, proc);
 
         let level = self.supply_level(home, me);
@@ -241,7 +240,7 @@ impl BaselineEngine {
             self.sink.record(ProtocolEvent::Upgrade);
             out.upgrade = true;
         }
-        let e = self.dir.get_mut(&line).expect("entry exists");
+        let e = self.dir.get_mut(line.0).expect("entry exists");
         e.writer = Some(proc);
         e.readers = 0;
         self.fill_slc(p, line, SlcState::Modified, &mut out);
@@ -251,9 +250,10 @@ impl BaselineEngine {
 
     /// Directory ↔ SLC consistency check (tests).
     pub fn check_invariants(&self) -> Result<(), String> {
-        for (line, e) in &self.dir {
+        for (l, e) in self.dir.iter() {
+            let line = LineNum(l);
             if let Some(w) = e.writer {
-                if self.slcs[w.as_usize()].peek(*line) != SlcState::Modified {
+                if self.slcs[w.as_usize()].peek(line) != SlcState::Modified {
                     return Err(format!("{line:?}: writer {w} not Modified"));
                 }
                 if e.readers & !(1 << w.0) != 0 {
@@ -261,7 +261,7 @@ impl BaselineEngine {
                 }
             }
             for p in 0..16u16 {
-                if e.readers & (1 << p) != 0 && !self.slcs[p as usize].peek(*line).is_valid() {
+                if e.readers & (1 << p) != 0 && !self.slcs[p as usize].peek(line).is_valid() {
                     return Err(format!("{line:?}: reader P{p} has no copy"));
                 }
             }
@@ -271,7 +271,7 @@ impl BaselineEngine {
             for (line, st) in slc.lines() {
                 let e = self
                     .dir
-                    .get(&line)
+                    .get(line.0)
                     .ok_or_else(|| format!("{line:?}: cached by P{p} but not in dir"))?;
                 match st {
                     SlcState::Modified => {

@@ -3,43 +3,113 @@
 //! The whole-machine simulation is driven by repeatedly advancing the
 //! processor with the earliest pending wake-up time. Ties are broken by
 //! processor id so runs are fully deterministic.
+//!
+//! The driver maintains at most **one** pending wake-up per processor (a
+//! processor is either running or parked at exactly one resume time), so
+//! the queue is a fixed array of per-processor wake-up times rather than a
+//! binary heap, with the current minimum cached:
+//!
+//! * `push` is a store plus one compare against the cached minimum;
+//! * `precedes` — the driver's *follow-through* test, "would this wake-up
+//!   be popped next anyway?" — is a single compare, letting the driver
+//!   keep stepping a processor without any queue traffic while it stays
+//!   the earliest;
+//! * only a real `pop` rescans the ≤ 64 slots (one or two cache lines) to
+//!   re-establish the cached minimum.
+//!
+//! The cached minimum is the *first* slot holding the minimal time, which
+//! is exactly the heap's `(time, proc)` lexicographic order, so replacing
+//! the heap changes nothing observable.
 
 use coma_types::{Nanos, ProcId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-/// A min-heap of `(time, processor)` wake-ups.
+/// Slot value marking "no pending wake-up".
+const IDLE: Nanos = Nanos::MAX;
+
+/// Pending wake-up times, indexed by processor id.
 #[derive(Clone, Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(Nanos, u16)>>,
+    slots: Vec<Nanos>,
+    len: usize,
+    /// `(time, proc)` of the earliest pending wake-up; `(IDLE, 0)` when
+    /// the queue is empty. Maintained on every mutation.
+    min: (Nanos, u16),
 }
 
 impl EventQueue {
     pub fn new() -> Self {
-        EventQueue::default()
+        EventQueue {
+            slots: Vec::new(),
+            len: 0,
+            min: (IDLE, 0),
+        }
     }
 
-    /// Schedule `proc` to run at `time`.
+    /// Schedule `proc` to run at `time`. At most one wake-up may be
+    /// pending per processor.
     pub fn push(&mut self, time: Nanos, proc: ProcId) {
-        self.heap.push(Reverse((time, proc.0)));
+        let p = proc.0 as usize;
+        if p >= self.slots.len() {
+            self.slots.resize(p + 1, IDLE);
+        }
+        debug_assert_ne!(time, IDLE, "IDLE sentinel used as a wake-up time");
+        debug_assert_eq!(self.slots[p], IDLE, "processor {p} already scheduled");
+        self.slots[p] = time;
+        self.len += 1;
+        if (time, proc.0) < self.min {
+            self.min = (time, proc.0);
+        }
     }
 
-    /// Remove and return the earliest wake-up.
+    /// Would a wake-up `(time, proc)` run before everything pending?
+    /// True when the queue is empty or `(time, proc)` lexicographically
+    /// precedes the earliest pending wake-up — i.e. pushing it and then
+    /// popping would return it straight back.
+    #[inline]
+    pub fn precedes(&self, time: Nanos, proc: ProcId) -> bool {
+        (time, proc.0) < self.min
+    }
+
+    /// Remove and return the earliest wake-up (ties: lowest processor id).
     pub fn pop(&mut self) -> Option<(Nanos, ProcId)> {
-        self.heap.pop().map(|Reverse((t, p))| (t, ProcId(p)))
+        if self.len == 0 {
+            return None;
+        }
+        let (t, p) = self.min;
+        debug_assert_eq!(self.slots[p as usize], t, "cached minimum is stale");
+        self.slots[p as usize] = IDLE;
+        self.len -= 1;
+        self.rescan();
+        Some((t, ProcId(p)))
+    }
+
+    /// Re-establish the cached minimum: two branchless passes — a
+    /// min-reduction, then a first-index search for that minimum — which
+    /// vectorize cleanly, unlike a fused index-tracking scan whose
+    /// data-dependent branch mispredicts on irregular wake-up times. IDLE
+    /// slots hold `u64::MAX`, so they win only when nothing is pending,
+    /// which leaves the cache at its empty value.
+    fn rescan(&mut self) {
+        let t = self.slots.iter().copied().min().unwrap_or(IDLE);
+        if t == IDLE {
+            self.min = (IDLE, 0);
+        } else {
+            let p = self.slots.iter().position(|&s| s == t).expect("min exists");
+            self.min = (t, p as u16);
+        }
     }
 
     /// Time of the earliest wake-up without removing it.
     pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|Reverse((t, _))| *t)
+        (self.len > 0).then_some(self.min.0)
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -74,5 +144,50 @@ mod tests {
         q.push(7, ProcId(0));
         assert_eq!(q.peek_time(), Some(7));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn popped_processor_can_be_rescheduled() {
+        let mut q = EventQueue::new();
+        q.push(5, ProcId(3));
+        assert_eq!(q.pop(), Some((5, ProcId(3))));
+        q.push(9, ProcId(3));
+        assert_eq!(q.peek_time(), Some(9));
+        assert_eq!(q.pop(), Some((9, ProcId(3))));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_peeks_none() {
+        let q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn precedes_matches_push_pop_order() {
+        let mut q = EventQueue::new();
+        // Empty queue: anything runs next.
+        assert!(q.precedes(100, ProcId(7)));
+        q.push(50, ProcId(2));
+        // Earlier time precedes; later does not.
+        assert!(q.precedes(49, ProcId(9)));
+        assert!(!q.precedes(51, ProcId(0)));
+        // Equal time: proc id breaks the tie.
+        assert!(q.precedes(50, ProcId(1)));
+        assert!(!q.precedes(50, ProcId(3)));
+    }
+
+    #[test]
+    fn precedes_agrees_with_pop_after_mutations() {
+        let mut q = EventQueue::new();
+        q.push(10, ProcId(4));
+        q.push(20, ProcId(1));
+        assert_eq!(q.pop(), Some((10, ProcId(4))));
+        // Remaining min is (20, 1).
+        assert!(q.precedes(19, ProcId(8)));
+        assert!(q.precedes(20, ProcId(0)));
+        assert!(!q.precedes(20, ProcId(2)));
+        assert!(!q.precedes(21, ProcId(0)));
     }
 }

@@ -79,31 +79,52 @@ fn write_buffer_bounds() {
     }
 }
 
-/// EventQueue pops in non-decreasing time order regardless of insert
-/// order, and returns exactly the inserted multiset.
+/// EventQueue under its driver contract (at most one pending wake-up per
+/// processor, arbitrary push/pop interleavings): pops agree exactly with
+/// a sorted reference model — earliest time first, ties broken by lowest
+/// processor id — and pop order is time-monotone within a parked epoch.
 #[test]
-fn event_queue_is_a_stable_priority_queue() {
+fn event_queue_matches_sorted_reference_model() {
     let mut rng = Rng64::new(0xE0E0);
     for _case in 0..128 {
-        let n = rng.range(1, 200);
-        let events: Vec<(u64, u16)> = (0..n)
-            .map(|_| (rng.below(100_000), rng.below(16) as u16))
-            .collect();
+        let n_procs = rng.range(1, 64) as u16;
+        let n_steps = rng.range(1, 400);
         let mut q = EventQueue::new();
-        for &(t, p) in &events {
-            q.push(t, ProcId(p));
+        // Reference model: the pending (time, proc) pairs, no structure.
+        let mut model: Vec<(u64, u16)> = Vec::new();
+        for _ in 0..n_steps {
+            let parked = model.len();
+            if parked < n_procs as usize && (parked == 0 || rng.chance(0.55)) {
+                // Park a processor that has no pending wake-up.
+                let p = loop {
+                    let p = rng.below(n_procs as u64) as u16;
+                    if !model.iter().any(|&(_, q)| q == p) {
+                        break p;
+                    }
+                };
+                let t = rng.below(100_000);
+                q.push(t, ProcId(p));
+                model.push((t, p));
+            } else {
+                let got = q.pop();
+                let want = model.iter().copied().min();
+                if let Some((t, p)) = want {
+                    model.retain(|&e| e != (t, p));
+                    assert_eq!(got, Some((t, ProcId(p))));
+                } else {
+                    assert_eq!(got, None);
+                }
+            }
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.peek_time(), model.iter().map(|&(t, _)| t).min());
         }
-        assert_eq!(q.len(), events.len());
-        let mut popped = Vec::new();
-        let mut last = 0u64;
-        while let Some((t, p)) = q.pop() {
-            assert!(t >= last);
-            last = t;
-            popped.push((t, p.0));
+        // Drain: the remaining pops arrive in (time, proc) sorted order.
+        let mut rest = model;
+        rest.sort_unstable();
+        for (t, p) in rest {
+            assert_eq!(q.pop(), Some((t, ProcId(p))));
         }
-        let mut want = events;
-        want.sort_unstable();
-        popped.sort_unstable();
-        assert_eq!(popped, want);
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
     }
 }

@@ -14,6 +14,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod fastmod;
 pub mod ids;
 pub mod pressure;
 pub mod rng;
@@ -21,6 +22,7 @@ pub mod time;
 
 pub use addr::{Addr, LineNum, LINE_BYTES, LINE_SHIFT, PAGE_BYTES, PAGE_SHIFT};
 pub use config::{ConfigError, LatencyConfig, MachineConfig, MachineGeometry};
+pub use fastmod::FastMod;
 pub use ids::{NodeId, ProcId};
 pub use pressure::{full_replication_threshold, MemoryPressure};
 pub use rng::{Rng64, ZipfSampler};

@@ -15,4 +15,14 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> bench smoke: one iteration per case, output must validate"
+# The bench overwrites the tracked baseline, so park it and put it back:
+# the smoke run only proves the harness works end to end.
+baseline=$(mktemp)
+cp BENCH_sim.json "$baseline"
+cargo bench -p coma-bench --bench perf --offline -- --iters 1
+grep -q '"schema": "coma-bench-sim/1"' BENCH_sim.json
+grep -q '"cases": \[' BENCH_sim.json
+mv "$baseline" BENCH_sim.json
+
 echo "OK: all checks passed"

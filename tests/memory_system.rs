@@ -142,6 +142,57 @@ fn golden_coma_totals_unchanged_by_refactor() {
     assert_eq!(r.exec_time_ns, 7_521_891);
 }
 
+/// Byte-identical totals for a lock-heavy application (Radiosity: 16-way
+/// critical sections plus barriers) at the paper's highest memory
+/// pressure, captured before the hot-path data-structure overhaul. This
+/// pins the synchronization and injection machinery, which the FFT
+/// golden barely exercises.
+#[test]
+fn golden_radiosity_totals_unchanged() {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = 2;
+    params.machine.memory_pressure = MemoryPressure::MP_87;
+    let r = run_simulation(AppId::Radiosity.build(16, 42, Scale::SMOKE), &params);
+    assert_eq!(r.counts.total_reads(), 128_031);
+    assert_eq!(r.counts.total_writes(), 38_417);
+    assert_eq!(r.counts.read_node_misses(), 22_209);
+    assert_eq!(r.traffic.read_bytes, 1_599_048);
+    assert_eq!(r.traffic.write_bytes, 96_296);
+    assert_eq!(r.traffic.replace_bytes, 31_584);
+    assert_eq!(r.traffic.read_txns, 22_209);
+    assert_eq!(r.traffic.write_txns, 12_013);
+    assert_eq!(r.traffic.replace_txns, 692);
+    assert_eq!(r.injections, 407);
+    assert_eq!(r.ownership_migrations, 285);
+    assert_eq!(r.shared_drops, 2_547);
+    assert_eq!(r.cold_allocs, 17_263);
+    assert_eq!(r.exec_time_ns, 5_781_143);
+}
+
+/// Byte-identical totals for a 4-processors-per-node cluster (OceanNon),
+/// pinning the intra-node peer-SLC machinery under a wide node.
+#[test]
+fn golden_ocean_4ppn_totals_unchanged() {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = 4;
+    params.machine.memory_pressure = MemoryPressure::MP_81;
+    let r = run_simulation(AppId::OceanNon.build(16, 42, Scale::SMOKE), &params);
+    assert_eq!(r.counts.total_reads(), 43_994);
+    assert_eq!(r.counts.total_writes(), 14_678);
+    assert_eq!(r.counts.read_node_misses(), 12_717);
+    assert_eq!(r.traffic.read_bytes, 915_624);
+    assert_eq!(r.traffic.write_bytes, 90_856);
+    assert_eq!(r.traffic.replace_bytes, 49_960);
+    assert_eq!(r.traffic.read_txns, 12_717);
+    assert_eq!(r.traffic.write_txns, 11_341);
+    assert_eq!(r.traffic.replace_txns, 725);
+    assert_eq!(r.injections, 690);
+    assert_eq!(r.ownership_migrations, 35);
+    assert_eq!(r.shared_drops, 478);
+    assert_eq!(r.cold_allocs, 14_646);
+    assert_eq!(r.exec_time_ns, 3_597_413);
+}
+
 /// Byte-identical NUMA-baseline totals from the same capture.
 #[test]
 fn golden_numa_totals_unchanged_by_refactor() {
