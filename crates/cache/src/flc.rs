@@ -91,6 +91,13 @@ impl Flc {
     pub fn occupancy(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
+
+    /// Iterate all resident lines as `(line, writable)` (verification).
+    pub fn lines(&self) -> impl Iterator<Item = (LineNum, bool)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| (s.line, s.writable)))
+    }
 }
 
 #[cfg(test)]

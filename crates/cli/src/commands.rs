@@ -16,6 +16,7 @@ USAGE:
   coma compare --app <name> [options]    1 vs 2 vs 4 processors per node
   coma record  --app <name> --trace <file> [options]   record a trace
   coma replay  --trace <file> [options]                simulate a trace
+  coma verify  [--mode smoke|full] [--seed <n>]  protocol model check + fuzz
 
 OPTIONS:
   --app <name>        application (see `coma list`)        [fft]
@@ -121,6 +122,22 @@ fn common(args: &Args) -> Result<Common, String> {
 fn simulate(c: &Common) -> SimReport {
     let wl = c.app.build(c.params.machine.n_procs, c.seed, c.scale);
     run_simulation(wl, &c.params)
+}
+
+/// `coma verify`
+pub fn verify(args: &Args) -> Result<(), String> {
+    args.expect_only(&["mode", "seed"])?;
+    let smoke = match args.get("mode").unwrap_or("smoke") {
+        "smoke" => true,
+        "full" => false,
+        other => return Err(format!("--mode must be smoke or full, got '{other}'")),
+    };
+    let seed = args.get_or("seed", 0xC0A_u64)?;
+    if coma_verify::campaign::run(smoke, seed) {
+        Ok(())
+    } else {
+        Err("protocol verification failed".into())
+    }
 }
 
 /// `coma list`

@@ -33,6 +33,7 @@ fn main() {
         Some("compare") => commands::compare(&parsed),
         Some("record") => commands::record(&parsed),
         Some("replay") => commands::replay(&parsed),
+        Some("verify") => commands::verify(&parsed),
         Some("help") | None => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -30,13 +30,20 @@ use crate::node::NodeState;
 use crate::outcome::Outcome;
 use crate::table::{OpenTable, PageHomes};
 use coma_cache::{AcceptPolicy, AcceptSlot, AmState, SlcState, Victim, VictimPolicy};
-use coma_stats::{CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic};
+use coma_stats::{
+    AuditSink, CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic,
+};
 use coma_types::{LineNum, MachineGeometry, NodeId, ProcId, LINE_SHIFT, PAGE_SHIFT};
 
 /// Lines per page (4096 / 64).
 const PAGE_LINES_SHIFT: u32 = PAGE_SHIFT - LINE_SHIFT;
 
 /// The machine-wide coherence state machine.
+///
+/// `Clone` produces an independent snapshot of the entire machine state —
+/// the model checker in `coma-verify` forks engines at every explored
+/// transition.
+#[derive(Clone)]
 pub struct CoherenceEngine {
     geom: MachineGeometry,
     nodes: Vec<NodeState>,
@@ -48,8 +55,9 @@ pub struct CoherenceEngine {
     accept_policy: AcceptPolicy,
     intra_node_transfers: bool,
     inclusive_hierarchy: bool,
-    /// Where every protocol event lands: traffic + counters.
-    sink: CounterSink,
+    /// Where every protocol event lands: traffic + counters, behind the
+    /// audit decorator that (when armed) counts transactions per access.
+    sink: AuditSink<CounterSink>,
 }
 
 impl CoherenceEngine {
@@ -92,8 +100,48 @@ impl CoherenceEngine {
             accept_policy,
             intra_node_transfers,
             inclusive_hierarchy,
-            sink: CounterSink::default(),
+            sink: AuditSink::new(CounterSink::default()),
         }
+    }
+
+    /// Perform a processor read of `line`, then (if the live auditor is
+    /// armed) re-verify every machine-wide invariant when the access
+    /// performed at least one protocol transaction.
+    #[inline]
+    pub fn read(&mut self, proc: ProcId, line: LineNum) -> Outcome {
+        let out = self.read_inner(proc, line);
+        self.audit_after();
+        out
+    }
+
+    /// Perform a processor write of `line`; audited like [`Self::read`].
+    #[inline]
+    pub fn write(&mut self, proc: ProcId, line: LineNum) -> Outcome {
+        let out = self.write_inner(proc, line);
+        self.audit_after();
+        out
+    }
+
+    /// Live invariant audit: runs after every access that emitted a
+    /// protocol event. Pure hits emit nothing and stay cheap; accesses
+    /// that changed global state pay a full [`Self::check_invariants`].
+    #[inline]
+    fn audit_after(&mut self) {
+        if self.sink.armed() && self.sink.take_pending() > 0 {
+            if let Err(e) = self.check_invariants() {
+                panic!("live audit: protocol invariant violated: {e}");
+            }
+        }
+    }
+
+    /// Arm or disarm the live invariant auditor.
+    pub fn set_audit(&mut self, on: bool) {
+        self.sink.arm(on);
+    }
+
+    /// Is the live invariant auditor armed?
+    pub fn audit_enabled(&self) -> bool {
+        self.sink.armed()
     }
 
     /// Record one protocol event into the engine's sink.
@@ -105,13 +153,13 @@ impl CoherenceEngine {
     /// Global bus traffic, decomposed as in Figures 3–4.
     #[inline]
     pub fn traffic(&self) -> &Traffic {
-        &self.sink.traffic
+        &self.sink.inner.traffic
     }
 
     /// Replacement / allocation event counters.
     #[inline]
     pub fn counters(&self) -> &ProtocolCounters {
-        &self.sink.counters
+        &self.sink.inner.counters
     }
 
     /// Does any private cache in `node_idx` still hold `line`?
@@ -137,8 +185,27 @@ impl CoherenceEngine {
         &self.nodes[n]
     }
 
+    /// Mutable node access. This deliberately bypasses the protocol —
+    /// it exists for fault injection in `coma-verify` (seeding a known
+    /// corruption and proving the checkers catch it). Simulation code
+    /// must never call it.
+    pub fn node_mut(&mut self, n: usize) -> &mut NodeState {
+        &mut self.nodes[n]
+    }
+
     pub fn directory(&self) -> &Directory {
         &self.dir
+    }
+
+    /// Mutable directory access; same fault-injection caveat as
+    /// [`Self::node_mut`].
+    pub fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.dir
+    }
+
+    /// The set of lines currently paged out to the OS (verification).
+    pub fn paged_out_lines(&self) -> impl Iterator<Item = LineNum> + '_ {
+        self.paged_out.iter().map(|(l, ())| LineNum(l))
     }
 
     /// Home node of a line's page, allocating the page on first touch.

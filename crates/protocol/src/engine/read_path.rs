@@ -4,8 +4,9 @@
 use super::*;
 
 impl CoherenceEngine {
-    /// Perform a processor read of `line`.
-    pub fn read(&mut self, proc: ProcId, line: LineNum) -> Outcome {
+    /// Perform a processor read of `line` (unaudited; the public
+    /// [`CoherenceEngine::read`] wraps this with the live auditor).
+    pub(super) fn read_inner(&mut self, proc: ProcId, line: LineNum) -> Outcome {
         let n = self.node_of(proc);
         let pidx = proc.index_in_node(self.geom.procs_per_node);
 

@@ -7,8 +7,9 @@ use super::*;
 
 impl CoherenceEngine {
     /// Perform a processor write of `line` (ownership acquisition; the
-    /// store data itself is not modeled).
-    pub fn write(&mut self, proc: ProcId, line: LineNum) -> Outcome {
+    /// store data itself is not modeled). Unaudited; the public
+    /// [`CoherenceEngine::write`] wraps this with the live auditor.
+    pub(super) fn write_inner(&mut self, proc: ProcId, line: LineNum) -> Outcome {
         let n = self.node_of(proc);
         let pidx = proc.index_in_node(self.geom.procs_per_node);
 

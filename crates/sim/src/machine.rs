@@ -173,6 +173,11 @@ pub struct SimParams {
     pub accept_policy: AcceptPolicy,
     pub memory_model: MemoryModel,
     pub interconnect: InterconnectKind,
+    /// Arm the live invariant auditor: the COMA engine re-verifies every
+    /// machine-wide protocol invariant after each access that performed a
+    /// protocol transaction (panicking on violation). Expensive — meant
+    /// for tests and debugging, not measurement runs.
+    pub audit: bool,
 }
 
 impl Default for SimParams {
@@ -184,6 +189,7 @@ impl Default for SimParams {
             accept_policy: AcceptPolicy::InvalidThenShared,
             memory_model: MemoryModel::Coma,
             interconnect: InterconnectKind::SnoopingBus,
+            audit: false,
         }
     }
 }
@@ -215,13 +221,17 @@ impl Simulation {
     pub fn new(workload: Workload, params: &SimParams) -> Result<Self, ConfigError> {
         let geom = params.machine.geometry(workload.ws_bytes)?;
         let mem = match params.memory_model {
-            MemoryModel::Coma => Engine::Coma(CoherenceEngine::with_inclusion(
-                geom,
-                params.victim_policy,
-                params.accept_policy,
-                params.machine.intra_node_transfers,
-                params.machine.inclusive_hierarchy,
-            )),
+            MemoryModel::Coma => {
+                let mut e = CoherenceEngine::with_inclusion(
+                    geom,
+                    params.victim_policy,
+                    params.accept_policy,
+                    params.machine.intra_node_transfers,
+                    params.machine.inclusive_hierarchy,
+                );
+                e.set_audit(params.audit);
+                Engine::Coma(e)
+            }
             MemoryModel::Numa => Engine::Baseline(BaselineEngine::new(geom, BaselineKind::Numa)),
             MemoryModel::Uma => Engine::Baseline(BaselineEngine::new(geom, BaselineKind::Uma)),
         };
@@ -582,6 +592,18 @@ mod tests {
     }
 
     #[test]
+    fn live_audit_clean_on_full_run() {
+        // The auditor re-checks every invariant after each protocol
+        // transaction; a full (if small) run at high pressure exercises
+        // injections, migrations and page-outs under audit.
+        let wl = AppId::LuNon.build(16, 11, Scale::SMOKE);
+        let mut p = params(4, MemoryPressure::MP_87);
+        p.audit = true;
+        let r = run_simulation(wl, &p);
+        assert!(r.injections > 0, "run too tame to exercise the auditor");
+    }
+
+    #[test]
     fn barrier_waiters_resume_after_release() {
         let wl = AppId::Fft.build(16, 13, Scale::SMOKE);
         let r = run_simulation(wl, &params(1, MemoryPressure::MP_50));
@@ -598,5 +620,79 @@ mod tests {
             Simulation::new(wl, &p).unwrap()
         }))
         .is_err());
+    }
+
+    /// A stream of `limit` distinguishable ops that counts how many
+    /// times the cursor called back into it (including the `None` pulls).
+    struct CountingStream {
+        emitted: u32,
+        limit: u32,
+        pulls: usize,
+    }
+
+    impl coma_workloads::OpStream for CountingStream {
+        fn next_op(&mut self) -> Option<coma_workloads::Op> {
+            self.pulls += 1;
+            if self.emitted == self.limit {
+                return None;
+            }
+            self.emitted += 1;
+            Some(coma_workloads::Op::Compute(self.emitted - 1))
+        }
+    }
+
+    /// Drain a `limit`-op stream through an [`OpCursor`]; returns the
+    /// number of ops delivered (order-checked) and the pulls consumed.
+    fn drain_through_cursor(limit: u32) -> (u32, usize) {
+        let mut stream = CountingStream {
+            emitted: 0,
+            limit,
+            pulls: 0,
+        };
+        let mut cursor = OpCursor::new();
+        let mut delivered = 0u32;
+        while let Some(op) = cursor.next(&mut stream) {
+            assert_eq!(op, coma_workloads::Op::Compute(delivered), "op reordered");
+            delivered += 1;
+        }
+        // Exhaustion is sticky: further calls keep returning None.
+        assert_eq!(cursor.next(&mut stream), None);
+        (delivered, stream.pulls)
+    }
+
+    #[test]
+    fn op_cursor_chunk_boundaries() {
+        // Stream lengths ≡ 0, 1 and 63 (mod OP_CHUNK), straddling zero,
+        // one and two refills — every off-by-one the buffering could have.
+        let chunk = OP_CHUNK as u32;
+        for limit in [
+            0,
+            1,
+            chunk - 1,
+            chunk,
+            chunk + 1,
+            2 * chunk - 1,
+            2 * chunk,
+            2 * chunk + 1,
+        ] {
+            let (delivered, _) = drain_through_cursor(limit);
+            assert_eq!(delivered, limit, "lost or duplicated ops at len {limit}");
+        }
+    }
+
+    #[test]
+    fn op_cursor_amortizes_stream_pulls() {
+        // A full chunk is fetched with chunk pulls; the end of the stream
+        // costs one extra `None` per refill attempt (incl. the final
+        // probe after exhaustion — see `drain_through_cursor`).
+        let chunk = OP_CHUNK as u32;
+        // len 2·chunk: two full refills + 2 empty probes.
+        assert_eq!(drain_through_cursor(2 * chunk).1, 2 * OP_CHUNK + 2);
+        // len chunk−1: one short refill sees the None, +2 empty probes.
+        assert_eq!(drain_through_cursor(chunk - 1).1, OP_CHUNK + 2);
+        // len chunk+1: full refill, short refill (op + None), +2 probes.
+        assert_eq!(drain_through_cursor(chunk + 1).1, OP_CHUNK + 4);
+        // Empty stream: each call is exactly one wasted pull.
+        assert_eq!(drain_through_cursor(0).1, 2);
     }
 }

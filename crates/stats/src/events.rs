@@ -105,6 +105,59 @@ impl EventSink for CounterSink {
     }
 }
 
+/// An [`EventSink`] decorator that counts protocol transactions on top of
+/// whatever the inner sink does with them.
+///
+/// This is the seam the live invariant auditor hangs off: the engines emit
+/// events exactly once per global transaction, so "did this access perform
+/// a protocol transaction?" is answerable by polling
+/// [`AuditSink::take_pending`] after the access — without the protocol code
+/// knowing auditing exists. When disarmed (the default) the decorator adds
+/// one predictable branch per event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AuditSink<S = CounterSink> {
+    /// The decorated sink; totals keep flowing through unchanged.
+    pub inner: S,
+    armed: bool,
+    pending: u32,
+}
+
+impl<S: EventSink> EventSink for AuditSink<S> {
+    #[inline]
+    fn record(&mut self, ev: ProtocolEvent) {
+        if self.armed {
+            self.pending += 1;
+        }
+        self.inner.record(ev);
+    }
+}
+
+impl<S> AuditSink<S> {
+    pub fn new(inner: S) -> Self {
+        AuditSink {
+            inner,
+            armed: false,
+            pending: 0,
+        }
+    }
+
+    /// Enable or disable transaction counting.
+    pub fn arm(&mut self, on: bool) {
+        self.armed = on;
+        self.pending = 0;
+    }
+
+    /// Is the decorator currently counting?
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Number of events recorded since the last poll; resets the count.
+    pub fn take_pending(&mut self) -> u32 {
+        std::mem::take(&mut self.pending)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

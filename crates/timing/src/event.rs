@@ -190,4 +190,96 @@ mod tests {
         assert!(!q.precedes(20, ProcId(2)));
         assert!(!q.precedes(21, ProcId(0)));
     }
+
+    #[test]
+    fn popping_empty_queue_is_none_and_harmless() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // still fine after a failed pop
+        q.push(3, ProcId(1));
+        assert_eq!(q.pop(), Some((3, ProcId(1))));
+        assert_eq!(q.pop(), None); // and after draining
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn many_way_tie_pops_in_proc_id_order() {
+        // The old BinaryHeap ordered by (time, proc); an all-way tie is
+        // the purest probe of that lexicographic order.
+        let mut q = EventQueue::new();
+        for p in [6u16, 0, 3, 5, 1, 4, 2] {
+            q.push(42, ProcId(p));
+        }
+        for p in 0..7 {
+            assert_eq!(q.pop(), Some((42, ProcId(p))));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Differential check against the pre-refactor semantics: a
+    /// `BinaryHeap<Reverse<(time, proc)>>` run in lockstep through a
+    /// seeded random push/pop/probe schedule, with small times so
+    /// equal-timestamp ties are frequent.
+    #[test]
+    fn differential_vs_binary_heap_reference() {
+        use coma_types::Rng64;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        const PROCS: usize = 16;
+        let mut rng = Rng64::new(0x0E7E);
+        let mut q = EventQueue::new();
+        let mut heap: BinaryHeap<Reverse<(Nanos, u16)>> = BinaryHeap::new();
+        let mut pending = [false; PROCS];
+
+        for _ in 0..20_000 {
+            let idle: Vec<u16> = (0..PROCS as u16)
+                .filter(|&p| !pending[p as usize])
+                .collect();
+            let do_push = !idle.is_empty() && (heap.is_empty() || rng.below(100) < 55);
+            if do_push {
+                let p = *rng.pick(&idle);
+                let t = rng.below(32); // tiny time range → constant ties
+                q.push(t, ProcId(p));
+                heap.push(Reverse((t, p)));
+                pending[p as usize] = true;
+            } else {
+                let expect = heap.pop().map(|Reverse((t, p))| (t, ProcId(p)));
+                assert_eq!(q.pop(), expect);
+                if let Some((_, p)) = expect {
+                    pending[p.0 as usize] = false;
+                }
+            }
+            // The follow-through probe must agree with the heap's view:
+            // "precedes" iff pushing then popping would return it back.
+            let probe = (rng.below(32), ProcId(rng.below(PROCS as u64) as u16));
+            let heap_says = heap
+                .peek()
+                .is_none_or(|&Reverse(min)| (probe.0, probe.1 .0) < min);
+            assert_eq!(q.precedes(probe.0, probe.1), heap_says);
+        }
+        // Drain both and compare the tail order.
+        while let Some(Reverse((t, p))) = heap.pop() {
+            assert_eq!(q.pop(), Some((t, ProcId(p))));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn follow_through_probe_is_push_pop_equivalent() {
+        // `precedes(t, p)` promises: push(t, p) followed by pop() returns
+        // (t, p) straight back. Verify the promise on both outcomes.
+        let mut q = EventQueue::new();
+        q.push(50, ProcId(2));
+        q.push(50, ProcId(6));
+
+        assert!(q.precedes(50, ProcId(1)));
+        q.push(50, ProcId(1));
+        assert_eq!(q.pop(), Some((50, ProcId(1)))); // came straight back
+
+        assert!(!q.precedes(50, ProcId(4)));
+        q.push(50, ProcId(4));
+        assert_ne!(q.pop(), Some((50, ProcId(4)))); // (50,2) runs first
+    }
 }

@@ -15,6 +15,9 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> protocol verification smoke: bounded model check + 10k fuzz ops"
+cargo run --release --offline -p coma-verify -- --smoke
+
 echo "==> bench smoke: one iteration per case, output must validate"
 # The bench overwrites the tracked baseline, so park it and put it back:
 # the smoke run only proves the harness works end to end.

@@ -193,6 +193,61 @@ fn golden_ocean_4ppn_totals_unchanged() {
     assert_eq!(r.exec_time_ns, 3_597_413);
 }
 
+/// Byte-identical totals for Barnes at the paper's Fig-4 blowup point
+/// (ppn=4, 87.5% MP, default 4-way AM): the configuration where conflict
+/// misses dominate — replacement traffic and injections are at their
+/// worst. Together with the 8-way twin below this pins the conflict-miss
+/// recovery story byte-for-byte.
+#[test]
+fn golden_barnes_4ppn_mp87_4way_totals_unchanged() {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = 4;
+    params.machine.memory_pressure = MemoryPressure::MP_87;
+    params.machine.am_assoc = 4;
+    let r = run_simulation(AppId::Barnes.build(16, 42, Scale::SMOKE), &params);
+    assert_eq!(r.counts.total_reads(), 64_892);
+    assert_eq!(r.counts.total_writes(), 7_620);
+    assert_eq!(r.counts.read_node_misses(), 17_679);
+    assert_eq!(r.traffic.read_bytes, 1_272_888);
+    assert_eq!(r.traffic.write_bytes, 27_096);
+    assert_eq!(r.traffic.replace_bytes, 745_016);
+    assert_eq!(r.traffic.read_txns, 17_679);
+    assert_eq!(r.traffic.write_txns, 3_291);
+    assert_eq!(r.traffic.replace_txns, 10_975);
+    assert_eq!(r.injections, 10_269);
+    assert_eq!(r.ownership_migrations, 706);
+    assert_eq!(r.shared_drops, 13_922);
+    assert_eq!(r.cold_allocs, 3_594);
+    assert_eq!(r.exec_time_ns, 5_967_601);
+}
+
+/// The 8-way twin of the test above: doubling AM associativity at the
+/// same pressure recovers most of the conflict-miss blowup (replacement
+/// transactions drop 10 975 → 1 872, node misses 17 679 → 11 204),
+/// which is the paper's §4.2 associativity argument in miniature.
+#[test]
+fn golden_barnes_4ppn_mp87_8way_totals_unchanged() {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = 4;
+    params.machine.memory_pressure = MemoryPressure::MP_87;
+    params.machine.am_assoc = 8;
+    let r = run_simulation(AppId::Barnes.build(16, 42, Scale::SMOKE), &params);
+    assert_eq!(r.counts.total_reads(), 64_892);
+    assert_eq!(r.counts.total_writes(), 7_620);
+    assert_eq!(r.counts.read_node_misses(), 11_204);
+    assert_eq!(r.traffic.read_bytes, 806_688);
+    assert_eq!(r.traffic.write_bytes, 23_008);
+    assert_eq!(r.traffic.replace_bytes, 122_496);
+    assert_eq!(r.traffic.read_txns, 11_204);
+    assert_eq!(r.traffic.write_txns, 2_820);
+    assert_eq!(r.traffic.replace_txns, 1_872);
+    assert_eq!(r.injections, 1_680);
+    assert_eq!(r.ownership_migrations, 192);
+    assert_eq!(r.shared_drops, 8_635);
+    assert_eq!(r.cold_allocs, 3_594);
+    assert_eq!(r.exec_time_ns, 3_439_349);
+}
+
 /// Byte-identical NUMA-baseline totals from the same capture.
 #[test]
 fn golden_numa_totals_unchanged_by_refactor() {
