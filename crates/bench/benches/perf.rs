@@ -8,7 +8,8 @@
 //! `cargo bench --bench perf` (add `-- --iters 1` for a smoke pass).
 
 use coma_bench::harness::Bench;
-use coma_bench::json;
+use coma_bench::{json, REP_APPS};
+use coma_experiments::{run_grid, ExpCtx, RunSpec};
 use coma_sim::{run_simulation, MemoryModel, SimParams};
 use coma_types::MemoryPressure;
 use coma_workloads::{AppId, Scale};
@@ -75,6 +76,31 @@ const CASES: [Case; 6] = [
 
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
 
+/// The sweep-scheduler wall-clock case: a 16-cell matrix (representative
+/// apps × two pressures × two clustering degrees) scheduled across the
+/// work-stealing pool with the cache off, so the number tracks scheduler
+/// + simulation throughput, not disk reuse.
+fn sweep_smoke_matrix() -> (ExpCtx, Vec<RunSpec>) {
+    let ctx = ExpCtx {
+        scale: Scale::SMOKE,
+        seed: 42,
+        out_dir: std::env::temp_dir().join("coma-bench-sweep"),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        no_cache: true,
+    };
+    let specs = REP_APPS
+        .into_iter()
+        .flat_map(|app| {
+            [MemoryPressure::MP_50, MemoryPressure::MP_87]
+                .into_iter()
+                .flat_map(move |mp| [1usize, 4].map(move |ppn| RunSpec::new(app, ppn, mp)))
+        })
+        .collect();
+    (ctx, specs)
+}
+
 fn main() {
     let bench = Bench::from_args();
     let mut rows = Vec::new();
@@ -99,6 +125,40 @@ fn main() {
         });
         if let Some(s) = stats {
             ran.push(c.name);
+            let ops_per_sec = ops as f64 / (s.mean.as_nanos().max(1) as f64 / 1e9);
+            rows.push(format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, ",
+                    "\"mean_ns\": {}, \"max_ns\": {}, \"ops\": {}, \"ops_per_sec\": {:.0}}}"
+                ),
+                json::escape(s.name.as_str()),
+                s.iters,
+                s.min.as_nanos(),
+                s.mean.as_nanos(),
+                s.max.as_nanos(),
+                ops,
+                ops_per_sec
+            ));
+        }
+    }
+
+    {
+        let (ctx, specs) = sweep_smoke_matrix();
+        let probe = run_grid(&ctx, &specs);
+        let ops: u64 = probe
+            .iter()
+            .map(|r| r.counts.total_reads() + r.counts.total_writes())
+            .sum();
+        let stats = bench.case("sim/sweep_smoke_matrix", || {
+            let reports = run_grid(&ctx, &specs);
+            let got: u64 = reports
+                .iter()
+                .map(|r| r.counts.total_reads() + r.counts.total_writes())
+                .sum();
+            assert_eq!(got, ops, "sweep_smoke_matrix: non-deterministic sweep");
+        });
+        if let Some(s) = stats {
+            ran.push("sim/sweep_smoke_matrix");
             let ops_per_sec = ops as f64 / (s.mean.as_nanos().max(1) as f64 / 1e9);
             rows.push(format!(
                 concat!(

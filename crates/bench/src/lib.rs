@@ -11,6 +11,7 @@ use coma_stats::SimReport;
 use coma_types::{LatencyConfig, MemoryPressure};
 use coma_workloads::{AppId, Scale};
 
+pub mod columnar;
 pub mod harness;
 pub mod json;
 

@@ -167,6 +167,12 @@ pub fn run(args: &Args) -> Result<(), String> {
         c.params.machine.memory_pressure,
         c.params.machine.am_assoc
     );
+    // The canonical configuration hash — the sweep cache keys off this,
+    // so two runs printing the same hash simulated the same machine.
+    println!(
+        "params hash      0x{:016x}",
+        coma_sim::canon::config_hash(&c.params)
+    );
     println!("execution time   {:>12.3} ms", r.exec_time_ns as f64 / 1e6);
     println!(
         "reads / writes   {:>12} / {}",

@@ -8,22 +8,38 @@
 //! * intra-node dirty SLC-to-SLC transfers on/off.
 
 use coma_cache::{AcceptPolicy, VictimPolicy};
-use coma_experiments::ExpCtx;
-use coma_sim::{run_simulation, SimParams};
+use coma_experiments::{run_sweep, ExpCtx, RunSpec};
 use coma_stats::Table;
 use coma_types::MemoryPressure;
 use coma_workloads::AppId;
 
 const APPS: [AppId; 4] = [AppId::Fft, AppId::OceanNon, AppId::Barnes, AppId::WaterN2];
 
-fn run(ctx: &ExpCtx, app: AppId, f: impl Fn(&mut SimParams)) -> (u64, u64) {
-    let mut params = SimParams::default();
-    params.machine.procs_per_node = 4;
-    params.machine.memory_pressure = MemoryPressure::MP_81;
-    f(&mut params);
-    let wl = app.build(16, ctx.seed, ctx.scale);
-    let r = run_simulation(wl, &params);
-    (r.exec_time_ns, r.traffic.total_bytes())
+const VARIANTS: [&str; 7] = [
+    "victim: strict LRU",
+    "accept: shared-first",
+    "accept: first-fit",
+    "WB depth 0 (blocking writes)",
+    "WB depth 2",
+    "WB depth 64",
+    "no intra-node transfers",
+];
+
+fn base(app: AppId) -> RunSpec {
+    RunSpec::new(app, 4, MemoryPressure::MP_81)
+}
+
+fn variant(app: AppId, k: usize) -> RunSpec {
+    base(app).tweak(|p| match k {
+        0 => p.victim_policy = VictimPolicy::StrictLru,
+        1 => p.accept_policy = AcceptPolicy::SharedThenInvalid,
+        2 => p.accept_policy = AcceptPolicy::FirstFit,
+        3 => p.machine.write_buffer_entries = 0,
+        4 => p.machine.write_buffer_entries = 2,
+        5 => p.machine.write_buffer_entries = 64,
+        6 => p.machine.intra_node_transfers = false,
+        _ => unreachable!(),
+    })
 }
 
 fn main() {
@@ -31,52 +47,38 @@ fn main() {
 
     println!("Ablations at 4-way clustering, 81.25% MP\n");
 
+    // One matrix: per app, the baseline then the 7 variants (32 cells).
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for app in APPS {
+        specs.push(base(app));
+        for k in 0..VARIANTS.len() {
+            specs.push(variant(app, k));
+        }
+    }
+    let sweep = run_sweep(&ctx, "ablation", &specs);
+    let rows_per_app = 1 + VARIANTS.len();
+
     let mut t = Table::new(vec![
         "Application",
         "variant",
         "exec vs base",
         "traffic vs base",
     ]);
-    for app in APPS {
-        let (base_t, base_b) = run(&ctx, app, |_| {});
-        let mut row = |name: &str, r: (u64, u64)| {
+    for (a, app) in APPS.into_iter().enumerate() {
+        let row0 = a * rows_per_app;
+        let base_t = sweep.u64("exec_time_ns", row0);
+        let base_b = sweep.u64("total_bytes", row0);
+        for (k, name) in VARIANTS.into_iter().enumerate() {
+            let row = row0 + 1 + k;
+            let exec = sweep.u64("exec_time_ns", row);
+            let bytes = sweep.u64("total_bytes", row);
             t.row(vec![
                 app.name().to_string(),
                 name.to_string(),
-                format!("{:+.1}%", (r.0 as f64 / base_t as f64 - 1.0) * 100.0),
-                format!("{:+.1}%", (r.1 as f64 / base_b as f64 - 1.0) * 100.0),
+                format!("{:+.1}%", (exec as f64 / base_t as f64 - 1.0) * 100.0),
+                format!("{:+.1}%", (bytes as f64 / base_b as f64 - 1.0) * 100.0),
             ]);
-        };
-        row(
-            "victim: strict LRU",
-            run(&ctx, app, |p| p.victim_policy = VictimPolicy::StrictLru),
-        );
-        row(
-            "accept: shared-first",
-            run(&ctx, app, |p| {
-                p.accept_policy = AcceptPolicy::SharedThenInvalid
-            }),
-        );
-        row(
-            "accept: first-fit",
-            run(&ctx, app, |p| p.accept_policy = AcceptPolicy::FirstFit),
-        );
-        row(
-            "WB depth 0 (blocking writes)",
-            run(&ctx, app, |p| p.machine.write_buffer_entries = 0),
-        );
-        row(
-            "WB depth 2",
-            run(&ctx, app, |p| p.machine.write_buffer_entries = 2),
-        );
-        row(
-            "WB depth 64",
-            run(&ctx, app, |p| p.machine.write_buffer_entries = 64),
-        );
-        row(
-            "no intra-node transfers",
-            run(&ctx, app, |p| p.machine.intra_node_transfers = false),
-        );
+        }
     }
     println!("{}", t.render());
     ctx.write_csv("ablation", &t);

@@ -7,10 +7,11 @@
 //!
 //! NUMA/UMA performance is memory-pressure-independent (the extra DRAM is
 //! simply unused), so the COMA columns sweep MP while the baselines give
-//! one number each.
+//! one number each. All 36 cells (6 apps × (4 COMA pressures + 2
+//! baselines)) run as one sweep matrix.
 
-use coma_experiments::{fig5_latency, run_grid, ExpCtx, RunSpec};
-use coma_sim::{run_simulation, MemoryModel, SimParams};
+use coma_experiments::{fig5_latency, run_sweep, ExpCtx, RunSpec};
+use coma_sim::MemoryModel;
 use coma_stats::Table;
 use coma_types::MemoryPressure;
 use coma_workloads::AppId;
@@ -24,18 +25,29 @@ const APPS: [AppId; 6] = [
     AppId::WaterN2,
 ];
 
-fn baseline(ctx: &ExpCtx, app: AppId, model: MemoryModel) -> u64 {
-    let params = SimParams {
-        memory_model: model,
-        latency: fig5_latency(),
-        ..Default::default()
-    };
-    let wl = app.build(16, ctx.seed, ctx.scale);
-    run_simulation(wl, &params).exec_time_ns
-}
-
 fn main() {
     let ctx = ExpCtx::from_env();
+
+    // Per app: the 4 COMA pressure cells, then the NUMA and UMA baselines
+    // (which use the default machine — pressure is irrelevant to them).
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for app in APPS {
+        for mp in MemoryPressure::PAPER_SWEEP {
+            if mp == MemoryPressure::MP_75 {
+                continue;
+            }
+            specs.push(RunSpec::new(app, 1, mp).with_latency(fig5_latency()));
+        }
+        for model in [MemoryModel::Numa, MemoryModel::Uma] {
+            specs.push(
+                RunSpec::new(app, 1, MemoryPressure::MP_50)
+                    .with_latency(fig5_latency())
+                    .with_model(model),
+            );
+        }
+    }
+    let sweep = run_sweep(&ctx, "coma_vs_numa", &specs);
+    let rows_per_app = 6;
 
     let mut t = Table::new(vec![
         "Application",
@@ -46,19 +58,15 @@ fn main() {
         "NUMA",
         "UMA",
     ]);
-    for app in APPS {
-        let specs: Vec<RunSpec> = MemoryPressure::PAPER_SWEEP
-            .into_iter()
-            .filter(|mp| *mp != MemoryPressure::MP_75)
-            .map(|mp| RunSpec::new(app, 1, mp).with_latency(fig5_latency()))
-            .collect();
-        let reports = run_grid(&ctx, &specs);
-        let numa = baseline(&ctx, app, MemoryModel::Numa) as f64;
-        let uma = baseline(&ctx, app, MemoryModel::Uma) as f64;
+    for (a, app) in APPS.into_iter().enumerate() {
+        let row0 = a * rows_per_app;
+        let numa = sweep.u64("exec_time_ns", row0 + 4) as f64;
+        let uma = sweep.u64("exec_time_ns", row0 + 5) as f64;
         let base = numa; // normalize everything to NUMA = 100%
         let mut cells = vec![app.name().to_string()];
-        for r in &reports {
-            cells.push(format!("{:.0}%", r.exec_time_ns as f64 / base * 100.0));
+        for k in 0..4 {
+            let exec = sweep.u64("exec_time_ns", row0 + k);
+            cells.push(format!("{:.0}%", exec as f64 / base * 100.0));
         }
         cells.push("100%".to_string());
         cells.push(format!("{:.0}%", uma / base * 100.0));

@@ -4,7 +4,7 @@
 //! Paper result: clustering reduces the RNMr for every application;
 //! average relative RNMr ≈ 82 % (2-way) and ≈ 62 % (4-way).
 
-use coma_experiments::{run_grid, ExpCtx, RunSpec};
+use coma_experiments::{run_sweep, ExpCtx, RunSpec};
 use coma_stats::{Bar, BarChart, Table};
 use coma_types::MemoryPressure;
 use coma_workloads::AppId;
@@ -17,7 +17,7 @@ fn main() {
         .into_iter()
         .flat_map(|app| [1usize, 2, 4].map(|ppn| RunSpec::new(app, ppn, mp)))
         .collect();
-    let reports = run_grid(&ctx, &specs);
+    let sweep = run_sweep(&ctx, "fig2", &specs);
 
     let mut t = Table::new(vec![
         "Application",
@@ -34,9 +34,9 @@ fn main() {
         "% of 1-processor-node RNMr",
     );
     for (i, app) in AppId::ALL.into_iter().enumerate() {
-        let r1 = reports[3 * i].rnm_rate();
-        let r2 = reports[3 * i + 1].rnm_rate();
-        let r4 = reports[3 * i + 2].rnm_rate();
+        let r1 = sweep.f64("rnm_rate", 3 * i);
+        let r2 = sweep.f64("rnm_rate", 3 * i + 1);
+        let r4 = sweep.f64("rnm_rate", 3 * i + 2);
         sum2 += r2 / r1;
         sum4 += r4 / r1;
         let g = chart.group(app.name());

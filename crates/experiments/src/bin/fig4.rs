@@ -7,7 +7,7 @@
 //! identifying AM conflict misses as the cause (except LU-cont, where
 //! associativity explains only part of the increase).
 
-use coma_experiments::{run_grid, ExpCtx, RunSpec};
+use coma_experiments::{run_sweep, ExpCtx, RunSpec};
 use coma_stats::{Bar, BarChart, Table};
 use coma_types::MemoryPressure;
 use coma_workloads::AppId;
@@ -15,6 +15,23 @@ use coma_workloads::AppId;
 fn main() {
     let ctx = ExpCtx::from_env();
     let mps = MemoryPressure::PAPER_SWEEP;
+
+    // One matrix for the whole figure, app-major: 12 rows per application
+    // (2 clustering degrees × (5 pressures + the extra 8-way 87.5% bar)).
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for app in AppId::FIG4_GROUP {
+        for ppn in [1usize, 4] {
+            for mp in mps {
+                specs.push(RunSpec::new(app, ppn, mp));
+                if mp == MemoryPressure::MP_87 {
+                    // The extra 8-way bar right after the normal 87.5% bar.
+                    specs.push(RunSpec::new(app, ppn, mp).with_assoc(8));
+                }
+            }
+        }
+    }
+    let sweep = run_sweep(&ctx, "fig4", &specs);
+    let rows_per_app = 2 * (mps.len() + 1);
 
     let mut t = Table::new(vec![
         "Application",
@@ -32,50 +49,44 @@ fn main() {
         vec!["read".into(), "write".into(), "replace".into()],
         "% of largest bar",
     );
-    for app in AppId::FIG4_GROUP {
-        let mut specs: Vec<RunSpec> = Vec::new();
-        for ppn in [1usize, 4] {
-            for mp in mps {
-                specs.push(RunSpec::new(app, ppn, mp));
-                if mp == MemoryPressure::MP_87 {
-                    // The extra 8-way bar right after the normal 87.5% bar.
-                    specs.push(RunSpec::new(app, ppn, mp).with_assoc(8));
-                }
-            }
-        }
-        let reports = run_grid(&ctx, &specs);
-        let max = reports
-            .iter()
-            .map(|r| r.traffic.total_bytes())
+    for (a, app) in AppId::FIG4_GROUP.into_iter().enumerate() {
+        let rows = a * rows_per_app..(a + 1) * rows_per_app;
+        let max = rows
+            .clone()
+            .map(|row| sweep.u64("total_bytes", row))
             .max()
             .unwrap_or(1)
             .max(1) as f64;
         let g = chart.group(app.name());
-        for (spec, r) in specs.iter().zip(&reports) {
-            let tr = &r.traffic;
+        for row in rows {
+            let spec = sweep.spec(row);
+            let read = sweep.u64("read_bytes", row);
+            let write = sweep.u64("write_bytes", row);
+            let replace = sweep.u64("replace_bytes", row);
+            let total = sweep.u64("total_bytes", row);
             g.bars.push(Bar {
                 label: format!(
                     "{}p@{}{}",
-                    spec.procs_per_node,
-                    spec.memory_pressure,
-                    if spec.am_assoc == 8 { "/8w" } else { "" }
+                    spec.procs_per_node(),
+                    spec.memory_pressure(),
+                    if spec.am_assoc() == 8 { "/8w" } else { "" }
                 ),
                 segments: vec![
-                    tr.read_bytes as f64 / max * 100.0,
-                    tr.write_bytes as f64 / max * 100.0,
-                    tr.replace_bytes as f64 / max * 100.0,
+                    read as f64 / max * 100.0,
+                    write as f64 / max * 100.0,
+                    replace as f64 / max * 100.0,
                 ],
             });
             t.row(vec![
                 app.name().to_string(),
-                spec.procs_per_node.to_string(),
-                spec.memory_pressure.to_string(),
-                format!("{}-way", spec.am_assoc),
-                format!("{:.1}", tr.read_bytes as f64 / max * 100.0),
-                format!("{:.1}", tr.write_bytes as f64 / max * 100.0),
-                format!("{:.1}", tr.replace_bytes as f64 / max * 100.0),
-                format!("{:.1}", tr.total_bytes() as f64 / max * 100.0),
-                tr.total_bytes().to_string(),
+                spec.procs_per_node().to_string(),
+                spec.memory_pressure().to_string(),
+                format!("{}-way", spec.am_assoc()),
+                format!("{:.1}", read as f64 / max * 100.0),
+                format!("{:.1}", write as f64 / max * 100.0),
+                format!("{:.1}", replace as f64 / max * 100.0),
+                format!("{:.1}", total as f64 / max * 100.0),
+                total.to_string(),
             ]);
         }
     }

@@ -6,7 +6,7 @@
 //! Bars are normalized per application to the 1-processor / 50 % MP run
 //! (= 100 %).
 
-use coma_experiments::{fig5_latency, run_grid, ExpCtx, RunSpec};
+use coma_experiments::{fig5_latency, run_sweep, ExpCtx, RunSpec};
 use coma_stats::{Bar, BarChart, Table};
 use coma_types::MemoryPressure;
 use coma_workloads::AppId;
@@ -25,7 +25,7 @@ fn main() {
             bars.map(|(ppn, mp)| RunSpec::new(app, ppn, mp).with_latency(fig5_latency()))
         })
         .collect();
-    let reports = run_grid(&ctx, &specs);
+    let sweep = run_sweep(&ctx, "fig5", &specs);
 
     let mut t = Table::new(vec![
         "Application",
@@ -43,17 +43,20 @@ fn main() {
         "% of 1p@50% execution time",
     );
     for (i, app) in AppId::ALL.into_iter().enumerate() {
-        let base = reports[3 * i].exec_time_ns.max(1) as f64;
+        let base = sweep.u64("exec_time_ns", 3 * i).max(1) as f64;
         let g = chart.group(app.name());
         for (k, (ppn, mp)) in bars.iter().enumerate() {
-            let r = &reports[3 * i + k];
-            let b = r.avg_breakdown();
-            let (busy, slc, am, rem) = b.figure5_segments();
-            let scale = |x: u64| x as f64 / base * 100.0 * 16.0 / 16.0;
+            let row = 3 * i + k;
+            // The store holds the machine-average breakdown; fold sync
+            // into remote exactly as `ExecBreakdown::figure5_segments`.
+            let busy = sweep.u64("busy_ns", row);
+            let slc = sweep.u64("slc_ns", row);
+            let am = sweep.u64("am_ns", row);
+            let rem = sweep.u64("remote_ns", row) + sweep.u64("sync_ns", row);
             // Normalize segment sums to the bar's execution time so the
             // stacked bar height equals exec-time relative to the baseline.
-            let total = b.total_ns().max(1) as f64;
-            let height = r.exec_time_ns as f64 / base * 100.0;
+            let total = (busy + slc + am + rem).max(1) as f64;
+            let height = sweep.u64("exec_time_ns", row) as f64 / base * 100.0;
             let seg = |x: u64| x as f64 / total * height;
             g.bars.push(Bar {
                 label: format!("{}p@{}", ppn, mp),
@@ -68,10 +71,9 @@ fn main() {
                 format!("{:.1}", seg(rem)),
                 format!("{:.1}", height),
             ]);
-            let _ = scale;
         }
-        let t81 = reports[3 * i + 1].exec_time_ns;
-        let c81 = reports[3 * i + 2].exec_time_ns;
+        let t81 = sweep.u64("exec_time_ns", 3 * i + 1);
+        let c81 = sweep.u64("exec_time_ns", 3 * i + 2);
         if c81 < t81 {
             clustering_wins += 1;
         }

@@ -9,25 +9,30 @@
 //! Figure-4 applications at 87.5 % MP, inclusive vs non-inclusive, for
 //! both clustering degrees.
 
-use coma_experiments::{fig5_latency, ExpCtx};
-use coma_sim::{run_simulation, SimParams};
+use coma_experiments::{fig5_latency, run_sweep, ExpCtx, RunSpec};
 use coma_stats::Table;
 use coma_types::MemoryPressure;
 use coma_workloads::AppId;
 
-fn run(ctx: &ExpCtx, app: AppId, ppn: usize, inclusive: bool) -> (u64, u64) {
-    let mut params = SimParams::default();
-    params.machine.procs_per_node = ppn;
-    params.machine.memory_pressure = MemoryPressure::MP_87;
-    params.machine.inclusive_hierarchy = inclusive;
-    params.latency = fig5_latency();
-    let wl = app.build(16, ctx.seed, ctx.scale);
-    let r = run_simulation(wl, &params);
-    (r.traffic.total_bytes(), r.exec_time_ns)
-}
-
 fn main() {
     let ctx = ExpCtx::from_env();
+
+    // One matrix: per app, per clustering degree, inclusive then
+    // non-inclusive (24 cells).
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for app in AppId::FIG4_GROUP {
+        for ppn in [1usize, 4] {
+            for inclusive in [true, false] {
+                specs.push(
+                    RunSpec::new(app, ppn, MemoryPressure::MP_87)
+                        .with_latency(fig5_latency())
+                        .tweak(|p| p.machine.inclusive_hierarchy = inclusive),
+                );
+            }
+        }
+    }
+    let sweep = run_sweep(&ctx, "inclusion", &specs);
+
     let mut t = Table::new(vec![
         "Application",
         "ppn",
@@ -36,10 +41,13 @@ fn main() {
         "traffic delta",
         "exec delta",
     ]);
-    for app in AppId::FIG4_GROUP {
-        for ppn in [1usize, 4] {
-            let (b_incl, t_incl) = run(&ctx, app, ppn, true);
-            let (b_non, t_non) = run(&ctx, app, ppn, false);
+    for (a, app) in AppId::FIG4_GROUP.into_iter().enumerate() {
+        for (p, ppn) in [1usize, 4].into_iter().enumerate() {
+            let row = (a * 2 + p) * 2;
+            let b_incl = sweep.u64("total_bytes", row);
+            let t_incl = sweep.u64("exec_time_ns", row);
+            let b_non = sweep.u64("total_bytes", row + 1);
+            let t_non = sweep.u64("exec_time_ns", row + 1);
             t.row(vec![
                 app.name().to_string(),
                 ppn.to_string(),

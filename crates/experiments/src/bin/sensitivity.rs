@@ -10,7 +10,7 @@
 //! 4. **Halved global bus bandwidth**: clustering becomes even more
 //!    attractive (largest effect: Barnes, FFT, LU-non).
 
-use coma_experiments::{run_grid, ExpCtx, RunSpec};
+use coma_experiments::{run_sweep, ExpCtx, RunSpec};
 use coma_stats::Table;
 use coma_types::{LatencyConfig, MemoryPressure};
 use coma_workloads::AppId;
@@ -28,6 +28,16 @@ fn main() {
         ("2x DRAM, half bus", LatencyConfig::paper_half_bus()),
     ];
 
+    // One matrix: app-major, then configuration, then 1p/4p (112 cells).
+    let mut specs: Vec<RunSpec> = Vec::new();
+    for app in AppId::ALL {
+        for (_, lat) in &configs {
+            specs.push(RunSpec::new(app, 1, mp).with_latency(lat.clone()));
+            specs.push(RunSpec::new(app, 4, mp).with_latency(lat.clone()));
+        }
+    }
+    let sweep = run_sweep(&ctx, "sensitivity", &specs);
+
     let mut t = Table::new(vec![
         "Application",
         "default",
@@ -36,17 +46,15 @@ fn main() {
         "half bus",
     ]);
     let mut degradations = [0usize; 4];
-    for app in AppId::ALL {
+    for (a, app) in AppId::ALL.into_iter().enumerate() {
         let mut cells = vec![app.name().to_string()];
-        for (k, (_, lat)) in configs.iter().enumerate() {
-            let specs = [
-                RunSpec::new(app, 1, mp).with_latency(lat.clone()),
-                RunSpec::new(app, 4, mp).with_latency(lat.clone()),
-            ];
-            let reports = run_grid(&ctx, &specs);
-            let ratio = reports[1].exec_time_ns as f64 / reports[0].exec_time_ns.max(1) as f64;
+        for (k, hit) in degradations.iter_mut().enumerate() {
+            let row = (a * configs.len() + k) * 2;
+            let t1 = sweep.u64("exec_time_ns", row);
+            let t4 = sweep.u64("exec_time_ns", row + 1);
+            let ratio = t4 as f64 / t1.max(1) as f64;
             if ratio > 1.02 {
-                degradations[k] += 1;
+                *hit += 1;
             }
             cells.push(format!("{:+.1}%", (ratio - 1.0) * 100.0));
         }

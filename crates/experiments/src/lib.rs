@@ -6,27 +6,47 @@
 //!
 //! * `COMA_SCALE` — `paper` (default), `bench`, or `smoke`: trace length.
 //! * `COMA_SEED` — experiment seed (default 42).
-//! * `COMA_OUT` — directory for CSV output (default `results/`).
-//! * `COMA_THREADS` — worker threads (default: available parallelism).
+//! * `COMA_OUT` — directory for CSV/store output (default `results/`).
+//! * `COMA_THREADS` — sweep worker threads (default: available
+//!   parallelism; an invalid value warns and falls back to the default).
+//! * `COMA_NO_CACHE` — set non-empty (and not `0`) to bypass the result
+//!   cache.
+//!
+//! The same knobs are accepted as command-line flags on every binary:
+//! `--jobs N` overrides `COMA_THREADS`, `--no-cache` overrides
+//! `COMA_NO_CACHE`.
+//!
+//! Experiment grids run on the work-stealing sweep scheduler in [`sweep`]:
+//! cells are sharded across `COMA_THREADS` workers, deduplicated through a
+//! config-hash result cache under `<out>/cache/`, and persisted once per
+//! sweep as a columnar store under `<out>/store/` (see
+//! `coma_bench::columnar`) with a JSON sidecar.
 
-use coma_sim::{run_simulation, SimParams};
+use coma_sim::{run_simulation, MemoryModel, SimParams};
 use coma_stats::{BarChart, SimReport, Table};
 use coma_types::{LatencyConfig, MemoryPressure};
 use coma_workloads::{AppId, Scale};
 use std::path::PathBuf;
-use std::sync::Mutex;
 
-/// Experiment context (scale, seed, output directory).
+pub mod sweep;
+
+pub use sweep::{cached_sim, report_sweep_stats, run_sweep, Sweep};
+
+/// Experiment context (scale, seed, output directory, scheduler knobs).
 #[derive(Clone, Debug)]
 pub struct ExpCtx {
     pub scale: Scale,
     pub seed: u64,
     pub out_dir: PathBuf,
+    /// Sweep worker threads (≥ 1).
     pub threads: usize,
+    /// Bypass the persistent result cache.
+    pub no_cache: bool,
 }
 
 impl ExpCtx {
-    /// Build from the environment (see module docs for the variables).
+    /// Build from the environment and the process arguments (see the
+    /// module docs for the variables and flags).
     pub fn from_env() -> Self {
         let scale = match std::env::var("COMA_SCALE").as_deref() {
             Ok("bench") => Scale::BENCH,
@@ -43,19 +63,58 @@ impl ExpCtx {
         let out_dir = std::env::var("COMA_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
-        let threads = std::env::var("COMA_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        ExpCtx {
+        let default_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = match std::env::var("COMA_THREADS") {
+            Err(_) => default_threads,
+            Ok(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!(
+                        "warning: COMA_THREADS='{s}' is not a positive integer; \
+                         falling back to available parallelism ({default_threads})"
+                    );
+                    default_threads
+                }
+            },
+        };
+        let no_cache = std::env::var("COMA_NO_CACHE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        let mut ctx = ExpCtx {
             scale,
             seed,
             out_dir,
             threads,
+            no_cache,
+        };
+        ctx.apply_args(std::env::args().skip(1));
+        ctx
+    }
+
+    /// Apply `--jobs N` / `--jobs=N` and `--no-cache` from an argument
+    /// list; unknown arguments are ignored (the binaries have no other
+    /// flags, and cargo's test runner injects its own).
+    pub fn apply_args<I: IntoIterator<Item = String>>(&mut self, args: I) {
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if a == "--no-cache" {
+                self.no_cache = true;
+            } else if let Some(v) = a.strip_prefix("--jobs=") {
+                self.set_jobs(v);
+            } else if a == "--jobs" {
+                if let Some(v) = it.next() {
+                    self.set_jobs(&v);
+                }
+            }
+        }
+    }
+
+    fn set_jobs(&mut self, v: &str) {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => self.threads = n,
+            _ => eprintln!("warning: --jobs '{v}' is not a positive integer; ignored"),
         }
     }
 
@@ -76,72 +135,79 @@ impl ExpCtx {
     }
 }
 
-/// One simulation point in an experiment grid.
+/// One simulation point in an experiment grid: an application plus the
+/// complete machine configuration. Holding the full [`SimParams`] (rather
+/// than a hand-picked subset of knobs) means the sweep cache key — a
+/// canonical hash over every field — covers ablation and sensitivity
+/// variants by construction.
 #[derive(Clone, Debug)]
 pub struct RunSpec {
     pub app: AppId,
-    pub procs_per_node: usize,
-    pub memory_pressure: MemoryPressure,
-    pub am_assoc: usize,
-    pub latency: LatencyConfig,
+    pub params: SimParams,
 }
 
 impl RunSpec {
     pub fn new(app: AppId, ppn: usize, mp: MemoryPressure) -> Self {
-        RunSpec {
-            app,
-            procs_per_node: ppn,
-            memory_pressure: mp,
-            am_assoc: 4,
-            latency: LatencyConfig::paper_default(),
-        }
+        let mut params = SimParams::default();
+        params.machine.procs_per_node = ppn;
+        params.machine.memory_pressure = mp;
+        RunSpec { app, params }
     }
 
     pub fn with_assoc(mut self, assoc: usize) -> Self {
-        self.am_assoc = assoc;
+        self.params.machine.am_assoc = assoc;
         self
     }
 
     pub fn with_latency(mut self, lat: LatencyConfig) -> Self {
-        self.latency = lat;
+        self.params.latency = lat;
         self
     }
 
-    /// Execute this point.
+    pub fn with_model(mut self, model: MemoryModel) -> Self {
+        self.params.memory_model = model;
+        self
+    }
+
+    /// Apply an arbitrary parameter tweak (ablation knobs and the like).
+    pub fn tweak(mut self, f: impl FnOnce(&mut SimParams)) -> Self {
+        f(&mut self.params);
+        self
+    }
+
+    pub fn procs_per_node(&self) -> usize {
+        self.params.machine.procs_per_node
+    }
+
+    pub fn memory_pressure(&self) -> MemoryPressure {
+        self.params.machine.memory_pressure
+    }
+
+    pub fn am_assoc(&self) -> usize {
+        self.params.machine.am_assoc
+    }
+
+    /// Execute this point (uncached; the scheduler wraps this).
     pub fn run(&self, ctx: &ExpCtx) -> SimReport {
-        let mut params = SimParams::default();
-        params.machine.procs_per_node = self.procs_per_node;
-        params.machine.memory_pressure = self.memory_pressure;
-        params.machine.am_assoc = self.am_assoc;
-        params.latency = self.latency.clone();
-        let wl = self.app.build(params.machine.n_procs, ctx.seed, ctx.scale);
-        run_simulation(wl, &params)
+        let n_procs = self.params.machine.n_procs;
+        let wl = self.app.build(n_procs, ctx.seed, ctx.scale);
+        run_simulation(wl, &self.params)
     }
 }
 
-/// Run every spec, using up to `ctx.threads` workers, preserving order.
+/// Run every spec through the sweep scheduler (work stealing across
+/// `ctx.threads` workers, result-cache dedup), preserving order. Panics
+/// if any cell fails; use [`run_sweep`] for per-cell fault isolation plus
+/// the persistent columnar store.
 pub fn run_grid(ctx: &ExpCtx, specs: &[RunSpec]) -> Vec<SimReport> {
-    let n = specs.len();
-    if ctx.threads <= 1 || n <= 1 {
-        return specs.iter().map(|s| s.run(ctx)).collect();
-    }
-    let results: Vec<Mutex<Option<SimReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..ctx.threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let report = specs[i].run(ctx);
-                *results[i].lock().unwrap() = Some(report);
-            });
-        }
-    });
-    results
+    sweep::run_matrix(ctx, specs)
+        .cells
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker completed"))
+        .enumerate()
+        .map(|(i, cell)| match cell {
+            Ok(r) => r,
+            Err(e) => panic!("sweep cell {i} ({:?}) failed: {e}", specs[i].app),
+        })
         .collect()
 }
 
@@ -172,7 +238,8 @@ impl SeedStats {
 /// Run `spec` under `n_seeds` different workload seeds (ctx.seed,
 /// ctx.seed+1, …) and summarize `metric` across them. Reviewers of
 /// simulation studies rightly ask for this; a small CV means a single
-/// seed's figures are representative.
+/// seed's figures are representative. The per-seed runs go through the
+/// scheduler (parallel, cached).
 pub fn across_seeds(
     ctx: &ExpCtx,
     spec: &RunSpec,
@@ -180,13 +247,11 @@ pub fn across_seeds(
     metric: impl Fn(&SimReport) -> f64 + Sync,
 ) -> SeedStats {
     assert!(n_seeds >= 1);
-    let values: Vec<f64> = (0..n_seeds)
-        .map(|k| {
-            let mut c = ctx.clone();
-            c.seed = ctx.seed + k as u64;
-            metric(&spec.run(&c))
-        })
-        .collect();
+    let values: Vec<f64> = sweep::run_pool(ctx.threads, n_seeds, |k| {
+        let mut c = ctx.clone();
+        c.seed = ctx.seed + k as u64;
+        metric(&sweep::run_spec_cached(&c, spec).unwrap_or_else(|e| panic!("seed run failed: {e}")))
+    });
     let mean = values.iter().sum::<f64>() / n_seeds as f64;
     let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
         / n_seeds.max(2).saturating_sub(1) as f64;
@@ -207,6 +272,7 @@ mod tests {
             seed: 1,
             out_dir: std::env::temp_dir().join("coma-exp-test"),
             threads: 2,
+            no_cache: true,
         }
     }
 
@@ -260,5 +326,29 @@ mod tests {
         let ctx = ExpCtx::from_env();
         assert!(ctx.threads >= 1);
         assert_eq!(ctx.seed, 42);
+    }
+
+    #[test]
+    fn args_override_threads_and_cache() {
+        let mut ctx = smoke_ctx();
+        ctx.no_cache = false;
+        ctx.apply_args(["--jobs", "7", "--no-cache"].map(String::from));
+        assert_eq!(ctx.threads, 7);
+        assert!(ctx.no_cache);
+        ctx.apply_args(["--jobs=3"].map(String::from));
+        assert_eq!(ctx.threads, 3);
+        // Invalid values are ignored with a warning, not fatal.
+        ctx.apply_args(["--jobs", "zero?"].map(String::from));
+        assert_eq!(ctx.threads, 3);
+    }
+
+    #[test]
+    fn tweak_reaches_every_knob() {
+        let spec = RunSpec::new(AppId::Fft, 4, MemoryPressure::MP_87)
+            .with_assoc(8)
+            .tweak(|p| p.machine.inclusive_hierarchy = false);
+        assert_eq!(spec.procs_per_node(), 4);
+        assert_eq!(spec.am_assoc(), 8);
+        assert!(!spec.params.machine.inclusive_hierarchy);
     }
 }

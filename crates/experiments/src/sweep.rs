@@ -1,0 +1,666 @@
+//! The work-stealing sweep engine: scheduler, result cache, columnar store.
+//!
+//! The paper's full experiment matrix is hundreds of *independent*
+//! simulations. This module turns a `&[RunSpec]` into results three
+//! layers deep:
+//!
+//! 1. **Scheduler** — [`run_pool`] shards cell indices across
+//!    `ctx.threads` workers, each with its own deque; an idle worker
+//!    steals from the back of a victim's deque, so a handful of slow
+//!    cells (the 87.5 %-MP runs are several times costlier than the
+//!    6.25 % ones) cannot strand the other workers. Each cell runs under
+//!    `catch_unwind`, so one diverging simulation fails that cell — not
+//!    the sweep.
+//! 2. **Result cache** — every cell is keyed by a canonical 64-bit hash
+//!    (`coma_sim::canon`) over the full `SimParams`, the application, the
+//!    workload seed and scale, plus [`CODE_SALT`]. Entries persist under
+//!    `<out>/cache/` with a version stamp and payload checksum; a stale
+//!    or corrupt entry is detected and recomputed, never served.
+//! 3. **Columnar store** — [`run_sweep`] writes one
+//!    `coma_bench::columnar` file per sweep under `<out>/store/` (plus a
+//!    human-readable JSON sidecar) and hands the binaries a [`Sweep`]
+//!    whose accessors read *from the store*, so every figure is derived
+//!    from the same bytes external tooling sees.
+//!
+//! Results are always returned in matrix order regardless of which worker
+//! computed a cell, and the simulations themselves are single-threaded
+//! and deterministic — so a parallel sweep is byte-identical to a serial
+//! one (pinned by `tests/sweep_determinism.rs`).
+
+use crate::{ExpCtx, RunSpec};
+use coma_bench::columnar::{ColBuilder, ColFile};
+use coma_bench::json::{self, Value};
+use coma_sim::canon::{config_hash, fnv1a_bytes, fnv1a_u64, FNV_OFFSET};
+use coma_sim::{run_simulation, MemoryModel, SimParams};
+use coma_stats::{LatencyHisto, SimReport};
+use coma_workloads::Workload;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Code-version salt folded into every cache key. Bump this whenever a
+/// change anywhere in the simulator alters what any configuration
+/// produces — old entries then miss (stale keys) instead of being served.
+pub const CODE_SALT: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+/// Run `f(0..n)` on up to `threads` workers and return the results in
+/// index order. Work-stealing: indices are dealt block-cyclically into
+/// per-worker deques; a worker drains its own deque from the front and,
+/// when empty, steals from the back of the next non-empty victim. No cell
+/// produces further work, so a worker that finds every deque empty is
+/// done. With `threads <= 1` the pool degenerates to a serial loop on the
+/// calling thread.
+pub fn run_pool<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| Mutex::new((w..n).step_by(threads).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let deques = &deques;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let mut task = deques[w].lock().unwrap().pop_front();
+                if task.is_none() {
+                    for off in 1..threads {
+                        let victim = (w + off) % threads;
+                        if let Some(stolen) = deques[victim].lock().unwrap().pop_back() {
+                            task = Some(stolen);
+                            break;
+                        }
+                    }
+                }
+                match task {
+                    Some(i) => *slots[i].lock().unwrap() = Some(f(i)),
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("cell executed"))
+        .collect()
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked (non-string payload)".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+const CACHE_MAGIC: [u8; 8] = *b"COMACEL1";
+/// Cache *entry format* version; distinct from [`CODE_SALT`], which
+/// versions the simulator's semantics.
+const CACHE_VERSION: u32 = 1;
+
+/// The cache key of one sweep cell: code salt, application, workload seed
+/// and scale, and the canonical hash of the complete `SimParams`.
+pub fn spec_key(ctx: &ExpCtx, spec: &RunSpec) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a_u64(h, CODE_SALT);
+    h = fnv1a_bytes(h, spec.app.name().as_bytes());
+    h = fnv1a_u64(h, ctx.seed);
+    h = fnv1a_u64(h, ctx.scale.0.to_bits());
+    fnv1a_u64(h, config_hash(&spec.params))
+}
+
+/// A cache key for a non-catalog workload: `tag` must identify the
+/// workload (shape, inputs, generator version) completely, since only the
+/// machine parameters are hashed alongside it.
+pub fn tagged_key(tag: &str, params: &SimParams) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a_u64(h, CODE_SALT);
+    h = fnv1a_bytes(h, tag.as_bytes());
+    fnv1a_u64(h, config_hash(params))
+}
+
+/// Serialize a `SimReport` as fixed-width little-endian words.
+fn encode_report(r: &SimReport) -> Vec<u8> {
+    let mut w: Vec<u64> = Vec::new();
+    w.push(r.exec_time_ns);
+    w.extend_from_slice(&r.counts.reads);
+    w.extend_from_slice(&r.counts.writes);
+    w.extend_from_slice(&[
+        r.traffic.read_bytes,
+        r.traffic.write_bytes,
+        r.traffic.replace_bytes,
+        r.traffic.read_txns,
+        r.traffic.write_txns,
+        r.traffic.replace_txns,
+        r.traffic.pageouts,
+    ]);
+    w.extend_from_slice(&[
+        r.injections,
+        r.ownership_migrations,
+        r.shared_drops,
+        r.cold_allocs,
+        r.bus_busy_ns,
+        r.dram_busy_ns,
+    ]);
+    w.push(r.per_proc.len() as u64);
+    for b in &r.per_proc {
+        w.extend_from_slice(&[b.busy_ns, b.slc_ns, b.am_ns, b.remote_ns, b.sync_ns]);
+    }
+    let histo = r.read_latency.to_words();
+    w.push(histo.len() as u64);
+    w.extend_from_slice(&histo);
+    let mut bytes = Vec::with_capacity(w.len() * 8);
+    for v in w {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+struct WordReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl WordReader<'_> {
+    fn next(&mut self) -> Option<u64> {
+        let end = self.at.checked_add(8)?;
+        let v = u64::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
+    fn take(&mut self, n: usize) -> Option<Vec<u64>> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+/// Inverse of [`encode_report`]; `None` on any structural mismatch.
+fn decode_report(bytes: &[u8]) -> Option<SimReport> {
+    let mut r = WordReader { bytes, at: 0 };
+    let mut report = SimReport {
+        exec_time_ns: r.next()?,
+        ..Default::default()
+    };
+    for i in 0..5 {
+        report.counts.reads[i] = r.next()?;
+    }
+    for i in 0..5 {
+        report.counts.writes[i] = r.next()?;
+    }
+    report.traffic.read_bytes = r.next()?;
+    report.traffic.write_bytes = r.next()?;
+    report.traffic.replace_bytes = r.next()?;
+    report.traffic.read_txns = r.next()?;
+    report.traffic.write_txns = r.next()?;
+    report.traffic.replace_txns = r.next()?;
+    report.traffic.pageouts = r.next()?;
+    report.injections = r.next()?;
+    report.ownership_migrations = r.next()?;
+    report.shared_drops = r.next()?;
+    report.cold_allocs = r.next()?;
+    report.bus_busy_ns = r.next()?;
+    report.dram_busy_ns = r.next()?;
+    let n_procs = usize::try_from(r.next()?).ok()?;
+    if n_procs > 4096 {
+        return None;
+    }
+    for _ in 0..n_procs {
+        let b = coma_stats::ExecBreakdown {
+            busy_ns: r.next()?,
+            slc_ns: r.next()?,
+            am_ns: r.next()?,
+            remote_ns: r.next()?,
+            sync_ns: r.next()?,
+        };
+        report.per_proc.push(b);
+    }
+    let histo_len = usize::try_from(r.next()?).ok()?;
+    if histo_len > 1024 {
+        return None;
+    }
+    report.read_latency = LatencyHisto::from_words(&r.take(histo_len)?)?;
+    if r.at != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(report)
+}
+
+struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    fn for_ctx(ctx: &ExpCtx) -> Option<Cache> {
+        if ctx.no_cache {
+            None
+        } else {
+            Some(Cache {
+                dir: ctx.out_dir.join("cache"),
+            })
+        }
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.cell"))
+    }
+
+    /// Load a cached report; `None` on a miss *or* on any stale/corrupt
+    /// entry (bad magic, wrong entry version, key mismatch, truncation,
+    /// checksum mismatch, undecodable payload).
+    fn load(&self, key: u64) -> Option<SimReport> {
+        let bytes = std::fs::read(self.path(key)).ok()?;
+        if bytes.len() < 32 || bytes[..8] != CACHE_MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != CACHE_VERSION {
+            return None;
+        }
+        let stored_key = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        if stored_key != key {
+            return None;
+        }
+        let payload_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+        if bytes.len() != 32 + payload_len + 8 {
+            return None;
+        }
+        let payload = &bytes[32..32 + payload_len];
+        let checksum = u64::from_le_bytes(bytes[32 + payload_len..].try_into().unwrap());
+        if fnv1a_bytes(FNV_OFFSET, payload) != checksum {
+            return None;
+        }
+        decode_report(payload)
+    }
+
+    /// Persist a report. Best-effort: a full disk or permission error
+    /// costs the cache hit, never the sweep. Writes go through a per-key
+    /// temp file and a rename, so readers only ever see complete entries.
+    fn store(&self, key: u64, report: &SimReport) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let payload = encode_report(report);
+        let mut bytes = Vec::with_capacity(40 + payload.len());
+        bytes.extend_from_slice(&CACHE_MAGIC);
+        bytes.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let checksum = fnv1a_bytes(FNV_OFFSET, &payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let tmp = self
+            .dir
+            .join(format!("{key:016x}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, self.path(key));
+        }
+    }
+}
+
+#[derive(Default)]
+struct SweepCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+/// Run one spec through the cache: serve a valid entry, otherwise compute
+/// (with panic isolation) and persist. Used by the scheduler for every
+/// cell and by [`across_seeds`](crate::across_seeds) for per-seed runs.
+pub fn run_spec_cached(ctx: &ExpCtx, spec: &RunSpec) -> Result<SimReport, String> {
+    let cache = Cache::for_ctx(ctx);
+    let counters = SweepCounters::default();
+    run_cell(ctx, spec, cache.as_ref(), &counters)
+}
+
+fn run_cell(
+    ctx: &ExpCtx,
+    spec: &RunSpec,
+    cache: Option<&Cache>,
+    counters: &SweepCounters,
+) -> Result<SimReport, String> {
+    let key = spec_key(ctx, spec);
+    if let Some(c) = cache {
+        if let Some(report) = c.load(key) {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(report);
+        }
+    }
+    match catch_unwind(AssertUnwindSafe(|| spec.run(ctx))) {
+        Ok(report) => {
+            counters.misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = cache {
+                c.store(key, &report);
+            }
+            Ok(report)
+        }
+        Err(payload) => {
+            counters.failed.fetch_add(1, Ordering::Relaxed);
+            Err(panic_message(payload))
+        }
+    }
+}
+
+/// The raw outcome of scheduling a matrix: per-cell results in matrix
+/// order plus cache accounting.
+pub struct SweepOutcome {
+    pub cells: Vec<Result<SimReport, String>>,
+    pub hits: usize,
+    pub misses: usize,
+    pub failed: usize,
+}
+
+/// Schedule every spec across the work-stealing pool, consulting the
+/// result cache per cell. No files other than cache entries are written;
+/// [`run_sweep`] layers the columnar store on top.
+pub fn run_matrix(ctx: &ExpCtx, specs: &[RunSpec]) -> SweepOutcome {
+    let cache = Cache::for_ctx(ctx);
+    let counters = SweepCounters::default();
+    let cells = run_pool(ctx.threads, specs.len(), |i| {
+        run_cell(ctx, &specs[i], cache.as_ref(), &counters)
+    });
+    SweepOutcome {
+        cells,
+        hits: counters.hits.into_inner(),
+        misses: counters.misses.into_inner(),
+        failed: counters.failed.into_inner(),
+    }
+}
+
+/// Cached single simulation for experiments whose workload is not a
+/// catalog application (e.g. the thresholds hot-line micro-benchmark).
+/// Returns the report plus whether it was served from the cache.
+pub fn cached_sim(
+    ctx: &ExpCtx,
+    tag: &str,
+    params: &SimParams,
+    build: impl FnOnce() -> Workload,
+) -> (SimReport, bool) {
+    let key = tagged_key(tag, params);
+    if let Some(cache) = Cache::for_ctx(ctx) {
+        if let Some(report) = cache.load(key) {
+            return (report, true);
+        }
+        let report = run_simulation(build(), params);
+        cache.store(key, &report);
+        (report, false)
+    } else {
+        (run_simulation(build(), params), false)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar store
+// ---------------------------------------------------------------------------
+
+/// Every numeric column the store holds, with its extractor. `rnm_rate`
+/// is the only f64 column; everything else is a u64 counter or duration.
+type U64Extract = fn(&SimReport) -> u64;
+const U64_COLUMNS: &[(&str, U64Extract)] = &[
+    ("exec_time_ns", |r| r.exec_time_ns),
+    ("total_reads", |r| r.counts.total_reads()),
+    ("total_writes", |r| r.counts.total_writes()),
+    ("read_node_misses", |r| r.counts.read_node_misses()),
+    ("read_bytes", |r| r.traffic.read_bytes),
+    ("write_bytes", |r| r.traffic.write_bytes),
+    ("replace_bytes", |r| r.traffic.replace_bytes),
+    ("total_bytes", |r| r.traffic.total_bytes()),
+    ("read_txns", |r| r.traffic.read_txns),
+    ("write_txns", |r| r.traffic.write_txns),
+    ("replace_txns", |r| r.traffic.replace_txns),
+    ("total_txns", |r| r.traffic.total_txns()),
+    ("pageouts", |r| r.traffic.pageouts),
+    ("busy_ns", |r| r.avg_breakdown().busy_ns),
+    ("slc_ns", |r| r.avg_breakdown().slc_ns),
+    ("am_ns", |r| r.avg_breakdown().am_ns),
+    ("remote_ns", |r| r.avg_breakdown().remote_ns),
+    ("sync_ns", |r| r.avg_breakdown().sync_ns),
+    ("injections", |r| r.injections),
+    ("ownership_migrations", |r| r.ownership_migrations),
+    ("shared_drops", |r| r.shared_drops),
+    ("cold_allocs", |r| r.cold_allocs),
+    ("bus_busy_ns", |r| r.bus_busy_ns),
+    ("dram_busy_ns", |r| r.dram_busy_ns),
+];
+
+fn build_columns(cells: &[Result<SimReport, String>]) -> ColBuilder {
+    let mut b = ColBuilder::new(cells.len());
+    for (name, get) in U64_COLUMNS {
+        b.col_u64(
+            name,
+            cells.iter().map(|c| c.as_ref().ok().map(get)).collect(),
+        );
+    }
+    b.col_f64(
+        "rnm_rate",
+        cells
+            .iter()
+            .map(|c| c.as_ref().ok().map(|r| r.rnm_rate()))
+            .collect(),
+    );
+    b
+}
+
+fn model_name(m: MemoryModel) -> &'static str {
+    match m {
+        MemoryModel::Coma => "coma",
+        MemoryModel::Numa => "numa",
+        MemoryModel::Uma => "uma",
+    }
+}
+
+fn sidecar_json(
+    ctx: &ExpCtx,
+    name: &str,
+    specs: &[RunSpec],
+    cells: &[Result<SimReport, String>],
+) -> String {
+    let rows: Vec<Value> = specs
+        .iter()
+        .zip(cells)
+        .enumerate()
+        .map(|(i, (spec, cell))| {
+            let mut row = vec![
+                ("row".to_string(), Value::int(i as u64)),
+                ("app".to_string(), Value::Str(spec.app.name().to_string())),
+                ("ppn".to_string(), Value::int(spec.procs_per_node() as u64)),
+                (
+                    "mp".to_string(),
+                    Value::Str(spec.memory_pressure().to_string()),
+                ),
+                ("assoc".to_string(), Value::int(spec.am_assoc() as u64)),
+                (
+                    "model".to_string(),
+                    Value::Str(model_name(spec.params.memory_model).to_string()),
+                ),
+                (
+                    "key".to_string(),
+                    Value::Str(format!("{:016x}", spec_key(ctx, spec))),
+                ),
+            ];
+            match cell {
+                Ok(r) => {
+                    row.push(("ok".to_string(), Value::Bool(true)));
+                    row.push(("exec_time_ns".to_string(), Value::int(r.exec_time_ns)));
+                    row.push(("rnm_rate".to_string(), Value::float(r.rnm_rate())));
+                    row.push((
+                        "total_bytes".to_string(),
+                        Value::int(r.traffic.total_bytes()),
+                    ));
+                }
+                Err(e) => {
+                    row.push(("ok".to_string(), Value::Bool(false)));
+                    row.push(("error".to_string(), Value::Str(e.clone())));
+                }
+            }
+            Value::Obj(row)
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("schema".to_string(), Value::Str("coma-sweep/1".to_string())),
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("scale".to_string(), Value::float(ctx.scale.0)),
+        ("seed".to_string(), Value::int(ctx.seed)),
+        (
+            "columns".to_string(),
+            Value::Arr(
+                U64_COLUMNS
+                    .iter()
+                    .map(|(n, _)| Value::Str(n.to_string()))
+                    .chain([Value::Str("rnm_rate".to_string())])
+                    .collect(),
+            ),
+        ),
+        ("rows".to_string(), Value::Arr(rows)),
+    ]);
+    let text = doc.to_json();
+    debug_assert!(json::validate(&text).is_ok());
+    text
+}
+
+/// Print one sweep's cache accounting and append it to the stats log that
+/// `experiments --bin all` aggregates (`<out>/cache/stats.log`).
+pub fn report_sweep_stats(ctx: &ExpCtx, name: &str, hits: usize, misses: usize, failed: usize) {
+    let failed_txt = if failed > 0 {
+        format!(", {failed} FAILED")
+    } else {
+        String::new()
+    };
+    println!(
+        "[sweep:{name}] {} cells on {} thread(s): {hits} cache hits, {misses} misses{failed_txt}",
+        hits + misses + failed,
+        ctx.threads
+    );
+    if !ctx.no_cache {
+        let dir = ctx.out_dir.join("cache");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(dir.join("stats.log"))
+            {
+                let _ = writeln!(f, "{name} {hits} {misses} {failed}");
+            }
+        }
+    }
+}
+
+/// A completed sweep: the matrix specs plus the persisted columnar store,
+/// reopened from its own serialized bytes so every read goes through the
+/// on-disk format.
+pub struct Sweep {
+    specs: Vec<RunSpec>,
+    file: ColFile,
+    errors: Vec<Option<String>>,
+    pub hits: usize,
+    pub misses: usize,
+    pub failed: usize,
+}
+
+impl Sweep {
+    pub fn n_rows(&self) -> usize {
+        self.file.n_rows()
+    }
+
+    pub fn spec(&self, row: usize) -> &RunSpec {
+        &self.specs[row]
+    }
+
+    /// Did this cell complete?
+    pub fn ok(&self, row: usize) -> bool {
+        self.errors[row].is_none()
+    }
+
+    /// The failure message of a failed cell.
+    pub fn error(&self, row: usize) -> Option<&str> {
+        self.errors[row].as_deref()
+    }
+
+    /// A `u64` metric; panics if the cell failed (figure binaries treat a
+    /// failed cell in their matrix as fatal — the figure would be wrong).
+    pub fn u64(&self, col: &str, row: usize) -> u64 {
+        self.file.get_u64(col, row).unwrap_or_else(|| {
+            panic!(
+                "row {row} ({:?}) of column '{col}' is null: {}",
+                self.specs[row].app,
+                self.errors[row].as_deref().unwrap_or("cell failed")
+            )
+        })
+    }
+
+    /// An `f64` metric; panics if the cell failed.
+    pub fn f64(&self, col: &str, row: usize) -> f64 {
+        self.file.get_f64(col, row).unwrap_or_else(|| {
+            panic!(
+                "row {row} ({:?}) of column '{col}' is null: {}",
+                self.specs[row].app,
+                self.errors[row].as_deref().unwrap_or("cell failed")
+            )
+        })
+    }
+
+    /// The underlying columnar file, for raw/batch access.
+    pub fn store(&self) -> &ColFile {
+        &self.file
+    }
+}
+
+/// Run a named sweep end to end: schedule the matrix (work stealing +
+/// cache), persist the columnar store and JSON sidecar under
+/// `<out>/store/<name>.{cols,json}`, report cache accounting, and return
+/// a [`Sweep`] that reads metrics back out of the store bytes.
+pub fn run_sweep(ctx: &ExpCtx, name: &str, specs: &[RunSpec]) -> Sweep {
+    let outcome = run_matrix(ctx, specs);
+    let builder = build_columns(&outcome.cells);
+    let bytes = builder.to_bytes();
+
+    let store_dir = ctx.out_dir.join("store");
+    std::fs::create_dir_all(&store_dir).expect("create store directory");
+    let cols_path = store_dir.join(format!("{name}.cols"));
+    write_atomic(&cols_path, &bytes).expect("write columnar store");
+    let json_path = store_dir.join(format!("{name}.json"));
+    write_atomic(
+        &json_path,
+        sidecar_json(ctx, name, specs, &outcome.cells).as_bytes(),
+    )
+    .expect("write sweep sidecar");
+    println!("[store] {}", cols_path.display());
+    report_sweep_stats(ctx, name, outcome.hits, outcome.misses, outcome.failed);
+
+    let file = ColFile::from_bytes(bytes).expect("round-trip the freshly built store");
+    Sweep {
+        specs: specs.to_vec(),
+        file,
+        errors: outcome.cells.into_iter().map(|c| c.err()).collect(),
+        hits: outcome.hits,
+        misses: outcome.misses,
+        failed: outcome.failed,
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}

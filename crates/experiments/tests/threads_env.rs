@@ -1,0 +1,101 @@
+//! `COMA_THREADS` handling: the knob must actually reach the scheduler
+//! (it was historically parsed but easy to leave dead when the pool is
+//! rewritten), an invalid value must fall back to available parallelism
+//! with a warning rather than abort, and thread count must never change
+//! results.
+//!
+//! Environment mutation is process-global, so every test here serializes
+//! on one mutex and restores the prior state before releasing it.
+
+use coma_experiments::{run_grid, ExpCtx, RunSpec};
+use coma_types::MemoryPressure;
+use coma_workloads::{AppId, Scale};
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with `COMA_THREADS` set to `val` (or unset for `None`),
+/// restoring the previous value afterwards.
+fn with_threads_env<T>(val: Option<&str>, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let prior = std::env::var("COMA_THREADS").ok();
+    match val {
+        Some(v) => std::env::set_var("COMA_THREADS", v),
+        None => std::env::remove_var("COMA_THREADS"),
+    }
+    let out = f();
+    match prior {
+        Some(v) => std::env::set_var("COMA_THREADS", v),
+        None => std::env::remove_var("COMA_THREADS"),
+    }
+    out
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[test]
+fn threads_env_is_honored() {
+    assert_eq!(
+        with_threads_env(Some("1"), || ExpCtx::from_env().threads),
+        1
+    );
+    assert_eq!(
+        with_threads_env(Some("4"), || ExpCtx::from_env().threads),
+        4
+    );
+}
+
+#[test]
+fn invalid_threads_value_falls_back_to_available_parallelism() {
+    for bad in ["zap", "0", "-3", "1.5", ""] {
+        assert_eq!(
+            with_threads_env(Some(bad), || ExpCtx::from_env().threads),
+            default_threads(),
+            "COMA_THREADS='{bad}' must fall back"
+        );
+    }
+    assert_eq!(
+        with_threads_env(None, || ExpCtx::from_env().threads),
+        default_threads()
+    );
+}
+
+/// The knob is live end to end: a grid scheduled at COMA_THREADS=1 and at
+/// =4 produces identical reports (and both actually complete — a dead or
+/// deadlocked pool would hang or panic here).
+#[test]
+fn thread_count_does_not_change_results() {
+    let specs: Vec<RunSpec> = [AppId::WaterN2, AppId::Fft]
+        .into_iter()
+        .flat_map(|app| [1usize, 4].map(|ppn| RunSpec::new(app, ppn, MemoryPressure::MP_50)))
+        .collect();
+    let run_at = |threads: usize| {
+        let ctx = ExpCtx {
+            scale: Scale::SMOKE,
+            seed: 42,
+            out_dir: std::env::temp_dir().join("coma-threads-env"),
+            threads,
+            no_cache: true,
+        };
+        run_grid(&ctx, &specs)
+    };
+    let serial = run_at(1);
+    let parallel = run_at(4);
+    // More workers than cells: the pool must clamp, not spin.
+    let oversubscribed = run_at(64);
+    for (i, s) in serial.iter().enumerate() {
+        for other in [&parallel[i], &oversubscribed[i]] {
+            assert_eq!(s.exec_time_ns, other.exec_time_ns, "cell {i}");
+            assert_eq!(
+                s.traffic.total_bytes(),
+                other.traffic.total_bytes(),
+                "cell {i}"
+            );
+            assert_eq!(s.read_latency, other.read_latency, "cell {i}");
+        }
+    }
+}

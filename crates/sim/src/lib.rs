@@ -28,6 +28,7 @@
 //! assert!(report.rnm_rate() < 1.0);
 //! ```
 
+pub mod canon;
 pub mod machine;
 pub mod resources;
 pub mod sync;

@@ -15,6 +15,9 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
 
+echo "==> sweep smoke: parallel sweep must be byte-identical to serial"
+COMA_SCALE=smoke COMA_THREADS=4 cargo test -q --offline -p coma --test sweep_determinism
+
 echo "==> protocol verification smoke: bounded model check + 10k fuzz ops"
 cargo run --release --offline -p coma-verify -- --smoke
 
