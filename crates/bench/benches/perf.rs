@@ -11,7 +11,7 @@ use coma_bench::harness::Bench;
 use coma_bench::{json, REP_APPS};
 use coma_experiments::{run_grid, ExpCtx, RunSpec};
 use coma_sim::{run_simulation, MemoryModel, SimParams};
-use coma_types::MemoryPressure;
+use coma_types::{MemoryPressure, Topology};
 use coma_workloads::{AppId, Scale};
 
 /// One fixed simulation workload in the tracked set.
@@ -21,9 +21,18 @@ struct Case {
     ppn: usize,
     mp: MemoryPressure,
     model: MemoryModel,
+    /// Total processors and interconnect shape (16 flat for the
+    /// long-tracked cases; the hierarchy case scales both).
+    procs: usize,
+    topology: Topology,
 }
 
-const CASES: [Case; 6] = [
+const FLAT16: Topology = Topology {
+    n_groups: 1,
+    levels: 0,
+};
+
+const CASES: [Case; 7] = [
     // Hit-dominated: every AM holds the whole working set (no replacement).
     Case {
         name: "sim/fft_1p_mp6",
@@ -31,6 +40,8 @@ const CASES: [Case; 6] = [
         ppn: 1,
         mp: MemoryPressure::MP_6,
         model: MemoryModel::Coma,
+        procs: 16,
+        topology: FLAT16,
     },
     // The golden-regression configuration.
     Case {
@@ -39,6 +50,8 @@ const CASES: [Case; 6] = [
         ppn: 2,
         mp: MemoryPressure::MP_81,
         model: MemoryModel::Coma,
+        procs: 16,
+        topology: FLAT16,
     },
     // AM-conflict heavy: highest replacement pressure in the study.
     Case {
@@ -47,6 +60,8 @@ const CASES: [Case; 6] = [
         ppn: 2,
         mp: MemoryPressure::MP_87,
         model: MemoryModel::Coma,
+        procs: 16,
+        topology: FLAT16,
     },
     // Communication-heavy under clustering.
     Case {
@@ -55,6 +70,8 @@ const CASES: [Case; 6] = [
         ppn: 4,
         mp: MemoryPressure::MP_81,
         model: MemoryModel::Coma,
+        procs: 16,
+        topology: FLAT16,
     },
     // Wide replication.
     Case {
@@ -63,6 +80,8 @@ const CASES: [Case; 6] = [
         ppn: 1,
         mp: MemoryPressure::MP_50,
         model: MemoryModel::Coma,
+        procs: 16,
+        topology: FLAT16,
     },
     // The baseline engine's hot path.
     Case {
@@ -71,6 +90,23 @@ const CASES: [Case; 6] = [
         ppn: 2,
         mp: MemoryPressure::MP_81,
         model: MemoryModel::Numa,
+        procs: 16,
+        topology: FLAT16,
+    },
+    // The hierarchical fabric's hot path: 64 processors over a 2-level
+    // tree (4 group buses, one link level) — level routing, presence
+    // sync and cross-group transfers all on the measured path.
+    Case {
+        name: "sim/hierarchy_smoke",
+        app: AppId::Fft,
+        ppn: 4,
+        mp: MemoryPressure::MP_50,
+        model: MemoryModel::Coma,
+        procs: 64,
+        topology: Topology {
+            n_groups: 4,
+            levels: 1,
+        },
     },
 ];
 
@@ -108,14 +144,16 @@ fn main() {
 
     for c in &CASES {
         let mut params = SimParams::default();
+        params.machine.n_procs = c.procs;
         params.machine.procs_per_node = c.ppn;
         params.machine.memory_pressure = c.mp;
+        params.machine.topology = c.topology;
         params.memory_model = c.model;
         // Memory accesses simulated per iteration (deterministic).
-        let probe = run_simulation(c.app.build(16, 42, Scale::SMOKE), &params);
+        let probe = run_simulation(c.app.build(c.procs, 42, Scale::SMOKE), &params);
         let ops = probe.counts.total_reads() + probe.counts.total_writes();
         let stats = bench.case(c.name, || {
-            let r = run_simulation(c.app.build(16, 42, Scale::SMOKE), &params);
+            let r = run_simulation(c.app.build(c.procs, 42, Scale::SMOKE), &params);
             assert_eq!(
                 r.counts.total_reads() + r.counts.total_writes(),
                 ops,

@@ -20,7 +20,10 @@ USAGE:
 
 OPTIONS:
   --app <name>        application (see `coma list`)        [fft]
+  --procs <n>         total processors (up to 256)         [16]
   --ppn <1|2|4>       processors per node                  [1]
+  --groups <n>        cluster groups on the interconnect   [1]
+  --levels <n>        directory levels above the groups    [0, or 1+ with --groups]
   --mp <6|50|75|81|87 or N/16>  memory pressure            [50]
   --assoc <n>         attraction-memory associativity      [4]
   --model <coma|numa|uma>  memory architecture             [coma]
@@ -96,21 +99,28 @@ struct Common {
 }
 
 const COMMON_OPTS: &[&str] = &[
-    "app", "ppn", "mp", "assoc", "model", "latency", "scale", "seed", "over", "trace",
+    "app", "procs", "ppn", "groups", "levels", "mp", "assoc", "model", "latency", "scale", "seed",
+    "over", "trace",
 ];
 
 fn common(args: &Args) -> Result<Common, String> {
     args.expect_only(COMMON_OPTS)?;
     let app: AppId = args.get("app").unwrap_or("fft").parse()?;
     let mut params = SimParams::default();
+    params.machine.n_procs = args.get_or("procs", params.machine.n_procs)?;
     params.machine.procs_per_node = args.get_or("ppn", 1usize)?;
-    if ![1, 2, 4, 8, 16].contains(&params.machine.procs_per_node) {
-        return Err("--ppn must divide 16".into());
-    }
+    let n_groups = args.get_or("groups", 1usize)?;
+    // Default the level count to the shallowest legal tree for the
+    // requested group count; --levels overrides for deeper fan-out.
+    let levels = args.get_or("levels", usize::from(n_groups > 1))?;
+    params.machine.topology = coma_types::Topology { n_groups, levels };
     params.machine.memory_pressure = parse_mp(args.get("mp").unwrap_or("50"))?;
     params.machine.am_assoc = args.get_or("assoc", 4usize)?;
     params.memory_model = parse_model(args.get("model").unwrap_or("coma"))?;
     params.latency = parse_latency(args.get("latency").unwrap_or("default"))?;
+    // One validation pass covers all the machine-shape flags (divisible
+    // ppn, group/level ranges, node-count ceiling) with real messages.
+    params.machine.validate().map_err(|e| e.to_string())?;
     Ok(Common {
         app,
         params,
@@ -353,6 +363,30 @@ mod tests {
     #[test]
     fn common_rejects_bad_ppn() {
         let args = crate::args::Args::parse(["run", "--ppn", "3"].map(String::from)).unwrap();
+        assert!(common(&args).is_err());
+    }
+
+    #[test]
+    fn common_accepts_hierarchical_shapes() {
+        let args = crate::args::Args::parse(
+            ["run", "--procs", "64", "--ppn", "2", "--groups", "4"].map(String::from),
+        )
+        .unwrap();
+        let c = common(&args).unwrap();
+        assert_eq!(c.params.machine.n_procs, 64);
+        assert_eq!(c.params.machine.topology.n_groups, 4);
+        assert_eq!(c.params.machine.topology.levels, 1);
+    }
+
+    #[test]
+    fn common_rejects_bad_topology() {
+        // 4 groups over 16 nodes is fine, but 3 groups does not divide.
+        let args = crate::args::Args::parse(["run", "--groups", "3"].map(String::from)).unwrap();
+        assert!(common(&args).is_err());
+        // Levels deeper than log2(groups) are meaningless.
+        let args =
+            crate::args::Args::parse(["run", "--groups", "4", "--levels", "5"].map(String::from))
+                .unwrap();
         assert!(common(&args).is_err());
     }
 

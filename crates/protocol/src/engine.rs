@@ -94,7 +94,7 @@ impl CoherenceEngine {
         CoherenceEngine {
             geom,
             nodes,
-            dir: Directory::new(),
+            dir: Directory::for_geometry(&geom),
             pages: PageHomes::new(),
             paged_out: OpenTable::new(),
             accept_policy,
@@ -225,7 +225,7 @@ impl CoherenceEngine {
             if !ostate.is_responsible() {
                 return Err(format!("{line:?}: owner {owner} has state {ostate}"));
             }
-            if ostate == AmState::Exclusive && info.sharers != 0 {
+            if ostate == AmState::Exclusive && !info.sharers.is_empty() {
                 return Err(format!("{line:?}: Exclusive with sharers"));
             }
             for sh in info.sharer_nodes() {
@@ -237,7 +237,7 @@ impl CoherenceEngine {
             }
             for (k, node) in self.nodes.iter().enumerate() {
                 let st = node.am.state(line);
-                let is_registered = k == owner || info.sharers & (1 << k) != 0;
+                let is_registered = k == owner || info.sharers.contains(k as u16);
                 if st.is_valid() && !is_registered {
                     return Err(format!(
                         "{line:?}: node {k} state {st} vs directory {info:?}"
@@ -292,7 +292,8 @@ impl CoherenceEngine {
                         let info = self.dir.get(line).ok_or_else(|| {
                             format!("{line:?}: SLC-only copy in node {k} of dead line")
                         })?;
-                        let registered = info.owner.as_usize() == k || info.sharers & (1 << k) != 0;
+                        let registered =
+                            info.owner.as_usize() == k || info.sharers.contains(k as u16);
                         if !registered {
                             return Err(format!(
                                 "{line:?}: SLC-only copy in node {k} unregistered"
@@ -316,6 +317,36 @@ impl CoherenceEngine {
             let line = LineNum(l);
             if self.dir.contains(line) {
                 return Err(format!("{line:?} both paged out and live"));
+            }
+        }
+        // Directory-level presence masks agree with the root sets: every
+        // live line's stored mask at each level equals the fold of the
+        // owner+sharer groups, and no dead line lingers at any level.
+        for (line, info) in self.dir.iter() {
+            for lvl in self.dir.levels() {
+                let h = lvl.height();
+                let expect = self.dir.expected_presence(h, info);
+                match lvl.presence(line) {
+                    Some(mask) if mask == expect => {}
+                    Some(mask) => {
+                        return Err(format!(
+                            "{line:?}: level-{h} presence {mask:#b} but copies span {expect:#b}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!("{line:?}: live but untracked at level {h}"));
+                    }
+                }
+            }
+        }
+        for lvl in self.dir.levels() {
+            for (line, _) in lvl.iter() {
+                if !self.dir.contains(line) {
+                    return Err(format!(
+                        "{line:?}: dead but still present at level {}",
+                        lvl.height()
+                    ));
+                }
             }
         }
         Ok(())

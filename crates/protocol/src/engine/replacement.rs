@@ -71,7 +71,7 @@ impl CoherenceEngine {
         //    take over responsibility — no data slot is consumed.
         if let Some(info) = self.dir.get(line) {
             debug_assert_eq!(info.owner.as_usize(), from, "injecting non-owned line");
-            if info.sharers != 0 {
+            if !info.sharers.is_empty() {
                 let new_owner = info.sharer_nodes().next().expect("sharers non-empty");
                 self.nodes[new_owner.as_usize()]
                     .am
@@ -82,6 +82,7 @@ impl CoherenceEngine {
                 }
                 self.emit(ProtocolEvent::OwnershipMigration);
                 out.ownership_migrated = true;
+                out.migrated_to = Some(new_owner);
                 return;
             }
         }

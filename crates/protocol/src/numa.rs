@@ -22,15 +22,15 @@ use crate::outcome::Outcome;
 use crate::table::{OpenTable, PageHomes};
 use coma_cache::{Flc, Slc, SlcState};
 use coma_stats::{CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic};
-use coma_types::{LineNum, MachineGeometry, NodeId, ProcId, LINE_SHIFT, PAGE_SHIFT};
+use coma_types::{LineNum, MachineGeometry, NodeId, NodeSet, ProcId, LINE_SHIFT, PAGE_SHIFT};
 
 const PAGE_LINES_SHIFT: u32 = PAGE_SHIFT - LINE_SHIFT;
 
 /// Sharing state of one line across the private SLCs.
 #[derive(Clone, Copy, Debug, Default)]
 struct DirEntry {
-    /// Bitmask of processors with a (clean) SLC copy.
-    readers: u16,
+    /// Processors with a (clean) SLC copy.
+    readers: NodeSet,
     /// Processor holding the line Modified, if any.
     writer: Option<ProcId>,
 }
@@ -124,7 +124,7 @@ impl BaselineEngine {
             // Remove from the directory.
             let me = ProcId(p as u16);
             if let Some(e) = self.dir.get_mut(victim.0) {
-                e.readers &= !(1 << p);
+                e.readers.remove(p as u16);
                 if e.writer == Some(me) {
                     e.writer = None;
                 }
@@ -149,10 +149,10 @@ impl BaselineEngine {
         let mut had_any = false;
         let readers = e.readers;
         let writer = e.writer;
-        e.readers = 0;
+        e.readers.clear();
         e.writer = None;
-        for p in 0..16u16 {
-            if readers & (1 << p) != 0 && p != keep.0 {
+        for p in readers.iter() {
+            if p != keep.0 {
                 self.slcs[p as usize].invalidate(line);
                 self.flcs[p as usize].invalidate(line);
                 had_any = true;
@@ -191,7 +191,7 @@ impl BaselineEngine {
             self.flcs[w.as_usize()].downgrade(line);
             let e = self.dir.get_mut(line.0).expect("entry exists");
             e.writer = None;
-            e.readers |= 1 << w.0;
+            e.readers.insert(w.0);
         }
 
         let level = self.supply_level(home, me);
@@ -201,7 +201,7 @@ impl BaselineEngine {
             self.sink.record(ProtocolEvent::ReadFill);
         }
         let e = self.dir.get_mut(line.0).expect("entry exists");
-        e.readers |= 1 << proc.0;
+        e.readers.insert(proc.0);
         self.fill_slc(p, line, SlcState::Shared, &mut out);
         self.flcs[p].fill(line, false);
         out
@@ -242,7 +242,7 @@ impl BaselineEngine {
         }
         let e = self.dir.get_mut(line.0).expect("entry exists");
         e.writer = Some(proc);
-        e.readers = 0;
+        e.readers.clear();
         self.fill_slc(p, line, SlcState::Modified, &mut out);
         self.flcs[p].fill(line, true);
         out
@@ -256,12 +256,14 @@ impl BaselineEngine {
                 if self.slcs[w.as_usize()].peek(line) != SlcState::Modified {
                     return Err(format!("{line:?}: writer {w} not Modified"));
                 }
-                if e.readers & !(1 << w.0) != 0 {
+                let mut others = e.readers;
+                others.remove(w.0);
+                if !others.is_empty() {
                     return Err(format!("{line:?}: writer plus readers"));
                 }
             }
-            for p in 0..16u16 {
-                if e.readers & (1 << p) != 0 && !self.slcs[p as usize].peek(line).is_valid() {
+            for p in e.readers.iter() {
+                if !self.slcs[p as usize].peek(line).is_valid() {
                     return Err(format!("{line:?}: reader P{p} has no copy"));
                 }
             }
@@ -280,7 +282,7 @@ impl BaselineEngine {
                         }
                     }
                     SlcState::Shared => {
-                        if e.readers & (1 << p) == 0 {
+                        if !e.readers.contains(p as u16) {
                             return Err(format!("{line:?}: P{p} S but not a dir reader"));
                         }
                     }

@@ -16,6 +16,11 @@ pub struct Outcome {
     pub remote_node: Option<NodeId>,
     /// A global invalidation broadcast happened (write upgrade).
     pub upgrade: bool,
+    /// Farthest node (by tree distance) whose copy an upgrade
+    /// invalidated, answered from the directory-level presence masks:
+    /// the invalidation must climb to the LCA of writer and this node.
+    /// `None` on flat machines (the broadcast reaches everyone anyway).
+    pub inval_scope: Option<NodeId>,
     /// A read-exclusive data fetch happened (write miss).
     pub read_exclusive: bool,
     /// The local AM fill displaced a Shared replica (silent drop).
@@ -25,6 +30,9 @@ pub struct Outcome {
     pub injected_to: Option<NodeId>,
     /// The injection resolved as an ownership migration to a replica.
     pub ownership_migrated: bool,
+    /// The replica that took over responsibility in an ownership
+    /// migration (routes the off-critical-path command).
+    pub migrated_to: Option<NodeId>,
     /// An injection found no receiver: OS page-out (large penalty).
     pub pageout: bool,
     /// This access re-materialized a previously paged-out line (page-in).
@@ -43,10 +51,12 @@ impl Outcome {
             peer_slc: None,
             remote_node: None,
             upgrade: false,
+            inval_scope: None,
             read_exclusive: false,
             dropped_shared: false,
             injected_to: None,
             ownership_migrated: false,
+            migrated_to: None,
             pageout: false,
             pagein: false,
             slc_writeback: false,

@@ -20,7 +20,7 @@
 
 use crate::machine::{InterconnectKind, MemoryModel, SimParams};
 use coma_cache::{AcceptPolicy, VictimPolicy};
-use coma_types::{LatencyConfig, MachineConfig, MemoryPressure};
+use coma_types::{LatencyConfig, MachineConfig, MemoryPressure, Topology};
 
 /// FNV-1a 64-bit offset basis.
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -150,8 +150,10 @@ pub fn walk_params(p: &SimParams) -> FieldWalk {
         write_buffer_entries,
         intra_node_transfers,
         inclusive_hierarchy,
+        topology,
     } = machine;
     let MemoryPressure { num, den } = memory_pressure;
+    let Topology { n_groups, levels } = topology;
     let LatencyConfig {
         slc_ns,
         slc_occ_ns,
@@ -163,6 +165,8 @@ pub fn walk_params(p: &SimParams) -> FieldWalk {
         bus_occ_ns,
         remote_extra_ns,
         pageout_ns,
+        link_ns,
+        link_occ_ns,
     } = latency;
 
     let mut w = FieldWalk::new();
@@ -177,6 +181,8 @@ pub fn walk_params(p: &SimParams) -> FieldWalk {
     w.field("machine.write_buffer_entries", *write_buffer_entries as u64);
     w.field("machine.intra_node_transfers", *intra_node_transfers as u64);
     w.field("machine.inclusive_hierarchy", *inclusive_hierarchy as u64);
+    w.field("machine.topology.n_groups", *n_groups as u64);
+    w.field("machine.topology.levels", *levels as u64);
     w.field("latency.slc_ns", *slc_ns);
     w.field("latency.slc_occ_ns", *slc_occ_ns);
     w.field("latency.ctrl_ns", *ctrl_ns);
@@ -187,6 +193,8 @@ pub fn walk_params(p: &SimParams) -> FieldWalk {
     w.field("latency.bus_occ_ns", *bus_occ_ns);
     w.field("latency.remote_extra_ns", *remote_extra_ns);
     w.field("latency.pageout_ns", *pageout_ns);
+    w.field("latency.link_ns", *link_ns);
+    w.field("latency.link_occ_ns", *link_occ_ns);
     w.field("victim_policy", victim_code(*victim_policy));
     w.field("accept_policy", accept_code(*accept_policy));
     w.field("memory_model", model_code(*memory_model));
@@ -274,6 +282,15 @@ mod tests {
             ("machine.inclusive_hierarchy", |p| {
                 p.machine.inclusive_hierarchy = false
             }),
+            ("machine.topology.n_groups", |p| {
+                p.machine.topology = Topology::two_level(4)
+            }),
+            ("machine.topology.levels", |p| {
+                p.machine.topology = Topology {
+                    n_groups: 4,
+                    levels: 2,
+                }
+            }),
             ("latency.slc_ns", |p| p.latency.slc_ns += 1),
             ("latency.slc_occ_ns", |p| p.latency.slc_occ_ns += 1),
             ("latency.ctrl_ns", |p| p.latency.ctrl_ns += 1),
@@ -286,6 +303,8 @@ mod tests {
                 p.latency.remote_extra_ns += 1
             }),
             ("latency.pageout_ns", |p| p.latency.pageout_ns += 1),
+            ("latency.link_ns", |p| p.latency.link_ns += 1),
+            ("latency.link_occ_ns", |p| p.latency.link_occ_ns += 1),
             ("victim_policy", |p| {
                 p.victim_policy = VictimPolicy::StrictLru
             }),

@@ -6,9 +6,10 @@ use crate::sync::{BarrierState, LockState};
 use coma_cache::{AcceptPolicy, VictimPolicy};
 use coma_protocol::{BaselineEngine, BaselineKind, CoherenceEngine, MemorySystem};
 use coma_stats::{AccessCounts, ExecBreakdown, Level, SimReport};
-use coma_timing::{EventQueue, IdealInterconnect, Interconnect, SnoopingBus, WriteBuffer};
+use coma_timing::{EventQueue, HierarchicalFabric, IdealInterconnect, Interconnect, WriteBuffer};
 use coma_types::{
-    time::instr_time, Addr, ConfigError, LatencyConfig, MachineConfig, Nanos, ProcId,
+    time::instr_time, Addr, ConfigError, LatencyConfig, MachineConfig, MachineGeometry, Nanos,
+    ProcId,
 };
 use coma_workloads::{Op, OpStream, Workload};
 
@@ -27,18 +28,28 @@ pub enum MemoryModel {
 /// Which global interconnect backend the machine uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum InterconnectKind {
-    /// The paper's single snooping bus (FIFO arbitration).
+    /// The arbitrated fabric shaped by the machine's [`coma_types::Topology`]:
+    /// the paper's single snooping bus when flat, a directory tree of
+    /// group buses and inter-level links otherwise.
     #[default]
     SnoopingBus,
-    /// A contention-free medium: same latency, infinite bandwidth.
+    /// A contention-free medium: same routed latency, infinite bandwidth.
     Ideal,
 }
 
 impl InterconnectKind {
-    fn build(self) -> Box<dyn Interconnect> {
+    fn build(self, geom: &MachineGeometry, lat: &LatencyConfig) -> Box<dyn Interconnect> {
         match self {
-            InterconnectKind::SnoopingBus => Box::new(SnoopingBus::new()),
-            InterconnectKind::Ideal => Box::new(IdealInterconnect::new()),
+            InterconnectKind::SnoopingBus => Box::new(HierarchicalFabric::new(
+                geom.topology,
+                lat.link_ns,
+                lat.link_occ_ns,
+            )),
+            InterconnectKind::Ideal => Box::new(IdealInterconnect::new(
+                geom.topology,
+                lat.link_ns,
+                lat.link_occ_ns,
+            )),
         }
     }
 }
@@ -255,7 +266,10 @@ impl Simulation {
             geom.n_procs
         );
         let n_procs = geom.n_procs;
-        let res = MachineResources::with_interconnect(&geom, params.interconnect.build());
+        let res = MachineResources::with_interconnect(
+            &geom,
+            params.interconnect.build(&geom, &params.latency),
+        );
         let mut queue = EventQueue::new();
         for p in 0..n_procs {
             queue.push(0, ProcId(p as u16));

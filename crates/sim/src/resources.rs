@@ -12,12 +12,13 @@
 
 use coma_protocol::Outcome;
 use coma_stats::Level;
-use coma_timing::{Interconnect, Resource, SnoopingBus};
+use coma_timing::{HierarchicalFabric, Interconnect, Resource};
 use coma_types::{LatencyConfig, MachineGeometry, Nanos, ProcId};
 
 /// All contended hardware of the machine.
 pub struct MachineResources {
-    /// The global interconnect (the paper's snooping bus by default).
+    /// The interconnect fabric (the paper's snooping bus is the
+    /// degenerate flat instance).
     pub bus: Box<dyn Interconnect>,
     /// Node controller / AM state+tag pipeline, per node.
     pub ctrl: Vec<Resource>,
@@ -26,15 +27,23 @@ pub struct MachineResources {
     /// SLC port, per processor.
     pub slc: Vec<Resource>,
     procs_per_node: usize,
+    nodes_per_group: usize,
 }
 
 impl MachineResources {
-    pub fn new(geom: &MachineGeometry) -> Self {
-        Self::with_interconnect(geom, Box::new(SnoopingBus::new()))
+    pub fn new(geom: &MachineGeometry, lat: &LatencyConfig) -> Self {
+        Self::with_interconnect(
+            geom,
+            Box::new(HierarchicalFabric::new(
+                geom.topology,
+                lat.link_ns,
+                lat.link_occ_ns,
+            )),
+        )
     }
 
     /// Assemble the machine's resources around a specific interconnect
-    /// backend (snooping bus, ideal network, …).
+    /// backend (arbitrated fabric, ideal network, …).
     pub fn with_interconnect(geom: &MachineGeometry, bus: Box<dyn Interconnect>) -> Self {
         MachineResources {
             bus,
@@ -42,7 +51,14 @@ impl MachineResources {
             dram: (0..geom.n_nodes).map(|_| Resource::new()).collect(),
             slc: (0..geom.n_procs).map(|_| Resource::new()).collect(),
             procs_per_node: geom.procs_per_node,
+            nodes_per_group: geom.nodes_per_group(),
         }
+    }
+
+    /// Cluster group of a node (always 0 on the flat machine).
+    #[inline]
+    fn group(&self, node: usize) -> usize {
+        node / self.nodes_per_group
     }
 
     /// Completion time of an access that started at `now`, walking the
@@ -86,23 +102,32 @@ impl MachineResources {
             }
             Level::Remote => {
                 self.slc[p].acquire(now, lat.slc_occ_ns);
+                let g = self.group(n);
                 if out.upgrade && !out.read_exclusive {
-                    // Invalidation broadcast: no data transfer.
+                    // Invalidation: climbs only as high as the directory
+                    // levels say copies reach (flat: the one broadcast).
+                    let scope = out
+                        .inval_scope
+                        .map(|k| self.group(k.as_usize()))
+                        .unwrap_or(g);
                     let t = self.ctrl[n].serve(now, ctrl2, lat.ctrl_ns);
-                    let t = self.bus.transfer(t, lat.bus_occ_ns, lat.bus_ns);
+                    let t = self.bus.transfer(t, g, scope, lat.bus_occ_ns, lat.bus_ns);
                     t + lat.ctrl_ns
                 } else {
-                    // Data fetch from the remote (owner/home) node.
+                    // Data fetch from the remote (owner/home) node,
+                    // request and response each routed through the levels
+                    // between the two groups.
                     let r = out
                         .remote_node
                         .map(|k| k.as_usize())
                         .unwrap_or((n + 1) % self.ctrl.len());
+                    let gr = self.group(r);
                     let t = self.ctrl[n].serve(now, ctrl2, lat.ctrl_ns);
-                    let t = self.bus.transfer(t, lat.bus_occ_ns, lat.bus_ns);
+                    let t = self.bus.transfer(t, g, gr, lat.bus_occ_ns, lat.bus_ns);
                     let t = self.ctrl[r].serve(t, ctrl2, lat.ctrl_ns);
                     let t = self.dram[r].serve(t, lat.dram_occ_ns, lat.dram_ns);
                     let t = t + lat.ctrl_ns; // remote controller return pass
-                    let t = self.bus.transfer(t, lat.bus_occ_ns, lat.bus_ns);
+                    let t = self.bus.transfer(t, gr, g, lat.bus_occ_ns, lat.bus_ns);
                     let t = t + lat.ctrl_ns; // local controller return pass
                     t + lat.remote_extra_ns
                 }
@@ -119,16 +144,21 @@ impl MachineResources {
             self.dram[n].acquire(t, lat.dram_occ_ns);
         }
         if let Some(k) = out.injected_to {
-            // Injection: one more bus transfer plus the acceptor's
+            // Injection: one more fabric transfer plus the acceptor's
             // controller and DRAM time (replacements are buffered, so the
             // requester does not wait for them).
-            self.bus.post(t, lat.bus_occ_ns);
             let k = k.as_usize();
+            self.bus
+                .post(t, self.group(n), self.group(k), lat.bus_occ_ns);
             self.ctrl[k].acquire(t, lat.ctrl_occ_ns);
             self.dram[k].acquire(t, lat.dram_occ_ns);
         }
         if out.ownership_migrated {
-            self.bus.post(t, lat.bus_occ_ns);
+            let dst = out
+                .migrated_to
+                .map(|k| self.group(k.as_usize()))
+                .unwrap_or_else(|| self.group(n));
+            self.bus.post(t, self.group(n), dst, lat.bus_occ_ns);
         }
         if out.pageout || out.pagein {
             // OS involvement: dominates everything else on this access.
@@ -152,7 +182,19 @@ mod tests {
     fn setup(ppn: usize) -> (MachineResources, LatencyConfig) {
         let cfg = MachineConfig::paper(ppn, MemoryPressure::MP_50);
         let geom = cfg.geometry(1 << 20).unwrap();
-        (MachineResources::new(&geom), LatencyConfig::paper_default())
+        let lat = LatencyConfig::paper_default();
+        (MachineResources::new(&geom, &lat), lat)
+    }
+
+    /// A 16-node machine in 4 groups of 4 under one root level.
+    fn setup_hierarchical() -> (MachineResources, LatencyConfig) {
+        let cfg = MachineConfig {
+            topology: coma_types::Topology::two_level(4),
+            ..MachineConfig::paper(1, MemoryPressure::MP_50)
+        };
+        let geom = cfg.geometry(1 << 20).unwrap();
+        let lat = LatencyConfig::paper_default();
+        (MachineResources::new(&geom, &lat), lat)
     }
 
     #[test]
@@ -248,6 +290,59 @@ mod tests {
         o.pageout = true;
         let t = r.time_access(0, ProcId(0), &o, &lat);
         assert!(t >= lat.pageout_ns);
+    }
+
+    #[test]
+    fn same_group_remote_skips_the_upper_levels() {
+        // Node 0 fetching from node 3 (same group of 4): both bus phases
+        // stay on the group-0 bus, so the contention-less total is the
+        // paper's flat 332 ns.
+        let (mut r, lat) = setup_hierarchical();
+        let mut o = Outcome::at(Level::Remote);
+        o.remote_node = Some(NodeId(3));
+        assert_eq!(r.time_access(0, ProcId(0), &o, &lat), 332);
+    }
+
+    #[test]
+    fn cross_group_remote_pays_link_crossings_and_far_bus() {
+        // Node 0 fetching from node 12 (group 3): each phase additionally
+        // crosses two links (up+down) and arbitrates on the far group's
+        // bus: 332 + 2 × (2·link + bus) = 332 + 2 × 60 = 452.
+        let (mut r, lat) = setup_hierarchical();
+        let mut o = Outcome::at(Level::Remote);
+        o.remote_node = Some(NodeId(12));
+        assert_eq!(r.time_access(0, ProcId(0), &o, &lat), 452);
+    }
+
+    #[test]
+    fn upgrade_scope_bounds_the_invalidation_cost() {
+        // An upgrade whose farthest holder is in the writer's own group
+        // stays on the local bus; one reaching another group climbs the
+        // tree and costs two extra link crossings plus the far bus.
+        let (mut r, lat) = setup_hierarchical();
+        let mut near = Outcome::at(Level::Remote);
+        near.upgrade = true;
+        near.inval_scope = Some(NodeId(1)); // group 0
+        let t_near = r.time_access(0, ProcId(0), &near, &lat);
+        let (mut r2, _) = setup_hierarchical();
+        let mut far = near;
+        far.inval_scope = Some(NodeId(15)); // group 3
+        let t_far = r2.time_access(0, ProcId(0), &far, &lat);
+        assert_eq!(t_far - t_near, 2 * lat.link_ns + lat.bus_ns);
+    }
+
+    #[test]
+    fn disjoint_groups_do_not_contend() {
+        // Two same-group remote fetches in different groups at once: no
+        // shared medium, both complete in the contention-less 332 ns.
+        let (mut r, lat) = setup_hierarchical();
+        let mk = |node| {
+            let mut o = Outcome::at(Level::Remote);
+            o.remote_node = Some(NodeId(node));
+            o
+        };
+        assert_eq!(r.time_access(0, ProcId(0), &mk(3), &lat), 332);
+        assert_eq!(r.time_access(0, ProcId(4), &mk(7), &lat), 332);
     }
 
     #[test]

@@ -1,90 +1,218 @@
-//! The global interconnect abstraction.
+//! The interconnect fabric abstraction.
 //!
 //! The paper's machine has exactly one global medium: a snooping bus all
-//! inter-node transactions arbitrate for. The simulator talks to it
-//! through the [`Interconnect`] trait so alternative fabrics — a
-//! split-transaction bus, a ring, an ideal contention-free network — can
-//! be swapped in without touching the timing walk in `coma-sim`.
+//! inter-node transactions arbitrate for. The hierarchical configurations
+//! replace it with a tree: one local bus per cluster group and a layer of
+//! inter-level links above them, so a transaction only occupies the media
+//! on the path between its endpoints. The simulator talks to the fabric
+//! through the [`Interconnect`] trait, routing by *group index*: the
+//! timing walk passes the source and destination groups and the fabric
+//! decides which media the transaction crosses.
 //!
 //! Two operations cover everything the protocol generates:
 //!
 //! * [`transfer`](Interconnect::transfer) — a critical-path transaction:
 //!   the requester stalls until arbitration *and* the transfer latency
-//!   complete (read fills, upgrades, read-exclusives).
+//!   complete on every medium crossed (read fills, upgrades,
+//!   read-exclusives).
 //! * [`post`](Interconnect::post) — a buffered transaction that consumes
-//!   bandwidth but does not stall the poster (injections, ownership
-//!   migrations: replacements are buffered, §3.1).
+//!   bandwidth along the path but does not stall the poster (injections,
+//!   ownership migrations: replacements are buffered, §3.1).
+//!
+//! The paper's flat bus is the degenerate [`HierarchicalFabric`] with one
+//! group and zero levels: both endpoints always map to group 0, so every
+//! operation is a single arbitration on the single leaf [`Resource`] —
+//! operation-for-operation identical to a bare snooping bus.
 
 use crate::resource::Resource;
-use coma_types::Nanos;
+use coma_types::{Nanos, Topology};
 
-/// A global transfer medium with arbitration and busy-time accounting.
+/// A transfer fabric with per-medium arbitration and busy-time accounting.
+///
+/// `src` and `dst` are *cluster group* indices; a flat machine passes
+/// `0, 0` everywhere.
 pub trait Interconnect {
-    /// Arbitrate at `now`, occupy the medium for `occ_ns`, and return the
-    /// completion time of a critical-path transfer with latency `lat_ns`.
-    fn transfer(&mut self, now: Nanos, occ_ns: Nanos, lat_ns: Nanos) -> Nanos;
+    /// Arbitrate along the `src → dst` path starting at `now`, occupying
+    /// each medium crossed, and return the completion time of a
+    /// critical-path transfer whose per-bus latency is `lat_ns`.
+    fn transfer(
+        &mut self,
+        now: Nanos,
+        src: usize,
+        dst: usize,
+        occ_ns: Nanos,
+        lat_ns: Nanos,
+    ) -> Nanos;
 
-    /// Consume `occ_ns` of bandwidth starting no earlier than `now` for a
-    /// buffered (off-critical-path) transaction; the caller does not wait.
-    fn post(&mut self, now: Nanos, occ_ns: Nanos);
+    /// Consume bandwidth along the `src → dst` path starting no earlier
+    /// than `now` for a buffered (off-critical-path) transaction; the
+    /// caller does not wait.
+    fn post(&mut self, now: Nanos, src: usize, dst: usize, occ_ns: Nanos);
 
-    /// Total time the medium has been occupied (utilization numerator).
+    /// Total time all media have been occupied (utilization numerator).
     fn busy_ns(&self) -> Nanos;
 }
 
-/// The paper's single snooping bus: one FIFO-arbitrated shared medium.
+/// A directory-tree fabric: one FIFO-arbitrated bus per cluster group and
+/// one link [`Resource`] per directory unit and level above them.
 ///
-/// Every transaction, critical-path or buffered, serializes through the
-/// same [`Resource`], which is exactly what makes the bus the saturating
-/// bottleneck in the high-memory-pressure experiments.
-#[derive(Debug, Default)]
-pub struct SnoopingBus {
-    res: Resource,
+/// A transaction between groups `a` and `b` climbs to their lowest common
+/// ancestor at height `h = lca_height(a, b)` and back down, serializing
+/// through `2h` links plus both endpoint buses. With one group and zero
+/// levels this degenerates to the paper's single snooping bus: every
+/// transaction is one `serve`/`acquire` on the lone leaf resource.
+#[derive(Debug)]
+pub struct HierarchicalFabric {
+    topo: Topology,
+    /// One bus per cluster group.
+    leaves: Vec<Resource>,
+    /// `links[h-1][u]`: the link connecting unit `u` at level `h-1` to its
+    /// parent at level `h`.
+    links: Vec<Vec<Resource>>,
+    link_ns: Nanos,
+    link_occ_ns: Nanos,
 }
 
-impl SnoopingBus {
-    pub fn new() -> Self {
-        SnoopingBus::default()
+impl HierarchicalFabric {
+    pub fn new(topo: Topology, link_ns: Nanos, link_occ_ns: Nanos) -> Self {
+        let links = (1..=topo.levels)
+            .map(|h| {
+                (0..topo.units_at(h - 1))
+                    .map(|_| Resource::default())
+                    .collect()
+            })
+            .collect();
+        HierarchicalFabric {
+            topo,
+            leaves: (0..topo.n_groups).map(|_| Resource::default()).collect(),
+            links,
+            link_ns,
+            link_occ_ns,
+        }
+    }
+
+    /// The paper's flat snooping bus (degenerate 1-group, 0-level tree).
+    pub fn flat() -> Self {
+        Self::new(Topology::flat(), 0, 0)
     }
 }
 
-impl Interconnect for SnoopingBus {
-    fn transfer(&mut self, now: Nanos, occ_ns: Nanos, lat_ns: Nanos) -> Nanos {
-        self.res.serve(now, occ_ns, lat_ns)
+impl Interconnect for HierarchicalFabric {
+    fn transfer(
+        &mut self,
+        now: Nanos,
+        src: usize,
+        dst: usize,
+        occ_ns: Nanos,
+        lat_ns: Nanos,
+    ) -> Nanos {
+        let mut t = self.leaves[src].serve(now, occ_ns, lat_ns);
+        if src != dst {
+            let h = self.topo.lca_height(src, dst);
+            for l in 1..=h {
+                let u = self.topo.unit_of(src, l - 1);
+                t = self.links[l - 1][u].serve(t, self.link_occ_ns, self.link_ns);
+            }
+            for l in (1..=h).rev() {
+                let u = self.topo.unit_of(dst, l - 1);
+                t = self.links[l - 1][u].serve(t, self.link_occ_ns, self.link_ns);
+            }
+            t = self.leaves[dst].serve(t, occ_ns, lat_ns);
+        }
+        t
     }
 
-    fn post(&mut self, now: Nanos, occ_ns: Nanos) {
-        self.res.acquire(now, occ_ns);
+    fn post(&mut self, now: Nanos, src: usize, dst: usize, occ_ns: Nanos) {
+        self.leaves[src].acquire(now, occ_ns);
+        if src != dst {
+            let h = self.topo.lca_height(src, dst);
+            for l in 1..=h {
+                let u = self.topo.unit_of(src, l - 1);
+                self.links[l - 1][u].acquire(now, self.link_occ_ns);
+            }
+            for l in (1..=h).rev() {
+                let u = self.topo.unit_of(dst, l - 1);
+                self.links[l - 1][u].acquire(now, self.link_occ_ns);
+            }
+            self.leaves[dst].acquire(now, occ_ns);
+        }
     }
 
     fn busy_ns(&self) -> Nanos {
-        self.res.busy_ns()
+        self.leaves
+            .iter()
+            .chain(self.links.iter().flatten())
+            .map(Resource::busy_ns)
+            .sum()
     }
 }
 
 /// A contention-free interconnect: transfers take the configured latency
-/// but never queue (infinite bandwidth, e.g. an idealized point-to-point
-/// network). Running the same workload on [`SnoopingBus`] and on this
-/// gives an upper bound on what bus arbitration costs.
-#[derive(Debug, Default)]
+/// of the path they cross but never queue (infinite bandwidth, e.g. an
+/// idealized point-to-point network). Running the same workload on
+/// [`HierarchicalFabric`] and on this gives an upper bound on what
+/// arbitration costs.
+#[derive(Debug)]
 pub struct IdealInterconnect {
+    topo: Topology,
+    link_ns: Nanos,
+    link_occ_ns: Nanos,
     busy: Nanos,
 }
 
+impl Default for IdealInterconnect {
+    fn default() -> Self {
+        Self::flat()
+    }
+}
+
 impl IdealInterconnect {
-    pub fn new() -> Self {
-        IdealInterconnect::default()
+    pub fn new(topo: Topology, link_ns: Nanos, link_occ_ns: Nanos) -> Self {
+        IdealInterconnect {
+            topo,
+            link_ns,
+            link_occ_ns,
+            busy: 0,
+        }
+    }
+
+    /// Flat single-group instance (the pre-hierarchy behaviour).
+    pub fn flat() -> Self {
+        Self::new(Topology::flat(), 0, 0)
+    }
+
+    /// Latency and bandwidth charged for one `src → dst` crossing on top
+    /// of a single bus phase.
+    #[inline]
+    fn route(&self, src: usize, dst: usize, occ_ns: Nanos, lat_ns: Nanos) -> (Nanos, Nanos) {
+        if src == dst {
+            return (lat_ns, occ_ns);
+        }
+        let hops = 2 * self.topo.lca_height(src, dst) as Nanos;
+        (
+            2 * lat_ns + hops * self.link_ns,
+            2 * occ_ns + hops * self.link_occ_ns,
+        )
     }
 }
 
 impl Interconnect for IdealInterconnect {
-    fn transfer(&mut self, now: Nanos, occ_ns: Nanos, lat_ns: Nanos) -> Nanos {
-        self.busy += occ_ns;
-        now + lat_ns
+    fn transfer(
+        &mut self,
+        now: Nanos,
+        src: usize,
+        dst: usize,
+        occ_ns: Nanos,
+        lat_ns: Nanos,
+    ) -> Nanos {
+        let (lat, occ) = self.route(src, dst, occ_ns, lat_ns);
+        self.busy += occ;
+        now + lat
     }
 
-    fn post(&mut self, _now: Nanos, occ_ns: Nanos) {
-        self.busy += occ_ns;
+    fn post(&mut self, _now: Nanos, src: usize, dst: usize, occ_ns: Nanos) {
+        let (_, occ) = self.route(src, dst, occ_ns, 0);
+        self.busy += occ;
     }
 
     fn busy_ns(&self) -> Nanos {
@@ -97,41 +225,157 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snooping_bus_serializes_transfers() {
-        let mut bus = SnoopingBus::new();
-        assert_eq!(bus.transfer(0, 28, 28), 28);
+    fn flat_fabric_serializes_transfers() {
+        let mut bus = HierarchicalFabric::flat();
+        assert_eq!(bus.transfer(0, 0, 0, 28, 28), 28);
         // Second transfer at t=0 waits for the first's occupancy.
-        assert_eq!(bus.transfer(0, 28, 28), 56);
+        assert_eq!(bus.transfer(0, 0, 0, 28, 28), 56);
         assert_eq!(bus.busy_ns(), 56);
     }
 
     #[test]
-    fn snooping_bus_posts_consume_bandwidth() {
-        let mut bus = SnoopingBus::new();
-        bus.post(0, 28);
+    fn flat_fabric_posts_consume_bandwidth() {
+        let mut bus = HierarchicalFabric::flat();
+        bus.post(0, 0, 0, 28);
         // A transfer arriving during the posted occupancy queues behind it.
-        assert_eq!(bus.transfer(0, 28, 28), 56);
+        assert_eq!(bus.transfer(0, 0, 0, 28, 28), 56);
+    }
+
+    #[test]
+    fn flat_fabric_matches_bare_resource() {
+        // The degenerate-equivalence argument: the flat fabric must issue
+        // the identical operation sequence a bare snooping-bus Resource
+        // would, so every pre-hierarchy golden stays byte-identical.
+        let mut fabric = HierarchicalFabric::flat();
+        let mut bare = Resource::default();
+        let ops = [
+            (0u64, 20u64, 20u64),
+            (5, 20, 20),
+            (5, 40, 20),
+            (100, 20, 60),
+        ];
+        for (now, occ, lat) in ops {
+            assert_eq!(
+                fabric.transfer(now, 0, 0, occ, lat),
+                bare.serve(now, occ, lat)
+            );
+            fabric.post(now, 0, 0, occ);
+            bare.acquire(now, occ);
+        }
+        assert_eq!(fabric.busy_ns(), bare.busy_ns());
+    }
+
+    #[test]
+    fn same_group_transfer_stays_local() {
+        let mut f = HierarchicalFabric::new(Topology::two_level(4), 20, 20);
+        // Group 2 internal transfer: one bus phase, no links.
+        assert_eq!(f.transfer(0, 2, 2, 20, 20), 20);
+        // Group 0 is untouched: its bus is still free at t=0.
+        assert_eq!(f.transfer(0, 0, 0, 20, 20), 20);
+    }
+
+    #[test]
+    fn cross_group_transfer_crosses_links_and_both_buses() {
+        let mut f = HierarchicalFabric::new(Topology::two_level(4), 20, 20);
+        // src bus (20) + up link (20) + down link (20) + dst bus (20).
+        assert_eq!(f.transfer(0, 0, 3, 20, 20), 80);
+        assert_eq!(f.busy_ns(), 80);
+    }
+
+    #[test]
+    fn three_level_route_length_follows_lca() {
+        // 16 groups over 2 levels, fanout 4.
+        let topo = Topology::tree(16, 2);
+        let mut f = HierarchicalFabric::new(topo, 10, 10);
+        // Same 4-group cluster: LCA at level 1 → 2 links.
+        assert_eq!(f.transfer(0, 0, 3, 20, 20), 20 + 10 + 10 + 20);
+        // Different clusters: LCA at the root → 4 links.
+        let mut f = HierarchicalFabric::new(topo, 10, 10);
+        assert_eq!(f.transfer(0, 0, 15, 20, 20), 20 + 4 * 10 + 20);
+    }
+
+    #[test]
+    fn disjoint_group_pairs_do_not_contend() {
+        let mut f = HierarchicalFabric::new(Topology::two_level(4), 20, 20);
+        // 0→1 and 2→3 share no medium under a 1-level root: both finish
+        // as if alone.
+        assert_eq!(f.transfer(0, 0, 1, 20, 20), 80);
+        assert_eq!(f.transfer(0, 2, 3, 20, 20), 80);
+        // But a second transaction out of group 0 queues on group 0's bus.
+        assert!(f.transfer(0, 0, 1, 20, 20) > 80);
+    }
+
+    #[test]
+    fn fabric_posts_occupy_the_whole_path() {
+        let mut f = HierarchicalFabric::new(Topology::two_level(2), 20, 20);
+        f.post(0, 0, 1, 30);
+        // Both leaf buses 30 + two links 20 each.
+        assert_eq!(f.busy_ns(), 30 + 30 + 20 + 20);
+        // A transfer out of group 1 queues behind the posted occupancy.
+        assert_eq!(f.transfer(0, 1, 1, 20, 20), 50);
     }
 
     #[test]
     fn ideal_interconnect_never_queues() {
-        let mut net = IdealInterconnect::new();
-        assert_eq!(net.transfer(0, 28, 28), 28);
-        assert_eq!(net.transfer(0, 28, 28), 28);
-        net.post(0, 28);
-        assert_eq!(net.transfer(0, 28, 28), 28);
+        let mut net = IdealInterconnect::flat();
+        assert_eq!(net.transfer(0, 0, 0, 28, 28), 28);
+        assert_eq!(net.transfer(0, 0, 0, 28, 28), 28);
+        net.post(0, 0, 0, 28);
+        assert_eq!(net.transfer(0, 0, 0, 28, 28), 28);
         // Bandwidth is still accounted for utilization reporting.
         assert_eq!(net.busy_ns(), 112);
     }
 
     #[test]
+    fn ideal_posts_never_move_the_critical_path() {
+        // Satellite pin: buffered posts on the ideal fabric must be
+        // invisible to later transfers, no matter how they interleave.
+        let mut net = IdealInterconnect::flat();
+        assert_eq!(net.transfer(100, 0, 0, 28, 28), 128);
+        net.post(100, 0, 0, 500);
+        net.post(110, 0, 0, 500);
+        assert_eq!(net.transfer(120, 0, 0, 28, 28), 148);
+        let mut hier = IdealInterconnect::new(Topology::two_level(2), 20, 20);
+        hier.post(0, 0, 1, 300);
+        assert_eq!(hier.transfer(0, 0, 1, 20, 20), 2 * 20 + 2 * 20);
+        assert_eq!(hier.transfer(0, 0, 0, 20, 20), 20);
+    }
+
+    #[test]
+    fn ideal_busy_sums_under_interleaved_transfer_and_post() {
+        // Satellite pin: busy_ns is the plain sum of all occupancies.
+        let mut net = IdealInterconnect::flat();
+        net.transfer(0, 0, 0, 20, 20); // +20
+        net.post(5, 0, 0, 32); // +32
+        net.transfer(7, 0, 0, 40, 20); // +40
+        net.post(9, 0, 0, 8); // +8
+        assert_eq!(net.busy_ns(), 100);
+        // Cross-group charges both buses and the two link crossings.
+        let mut hier = IdealInterconnect::new(Topology::two_level(2), 20, 15);
+        hier.transfer(0, 0, 1, 20, 20); // 2×20 + 2×15 = 70
+        hier.post(0, 1, 0, 10); // 2×10 + 2×15 = 50
+        assert_eq!(hier.busy_ns(), 120);
+    }
+
+    #[test]
+    fn ideal_routes_latency_by_lca_height() {
+        let mut net = IdealInterconnect::new(Topology::tree(16, 2), 10, 10);
+        // Same group: one phase.
+        assert_eq!(net.transfer(0, 5, 5, 20, 20), 20);
+        // Sibling groups: two phases + 2 links.
+        assert_eq!(net.transfer(0, 0, 3, 20, 20), 60);
+        // Across the root: two phases + 4 links.
+        assert_eq!(net.transfer(0, 0, 15, 20, 20), 80);
+    }
+
+    #[test]
     fn trait_objects_are_swappable() {
         let media: Vec<Box<dyn Interconnect>> = vec![
-            Box::new(SnoopingBus::new()),
-            Box::new(IdealInterconnect::new()),
+            Box::new(HierarchicalFabric::flat()),
+            Box::new(IdealInterconnect::flat()),
         ];
         for mut m in media {
-            let t = m.transfer(10, 28, 28);
+            let t = m.transfer(10, 0, 0, 28, 28);
             assert_eq!(t, 38);
             assert_eq!(m.busy_ns(), 28);
         }

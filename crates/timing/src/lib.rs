@@ -22,6 +22,6 @@ pub mod resource;
 pub mod write_buffer;
 
 pub use event::EventQueue;
-pub use interconnect::{IdealInterconnect, Interconnect, SnoopingBus};
+pub use interconnect::{HierarchicalFabric, IdealInterconnect, Interconnect};
 pub use resource::Resource;
 pub use write_buffer::WriteBuffer;

@@ -11,8 +11,11 @@
 //! latency is held constant…") are a one-field change.
 
 use crate::addr::LINE_BYTES;
+use crate::ids::NodeId;
+use crate::nodeset::NodeSet;
 use crate::pressure::MemoryPressure;
 use crate::time::Nanos;
+use crate::topology::Topology;
 use std::fmt;
 
 /// Structural machine parameters.
@@ -41,6 +44,9 @@ pub struct MachineConfig {
     /// paper's base model). `false` implements the §4.2 suggestion of
     /// breaking inclusion so SLC replicas survive AM replacements.
     pub inclusive_hierarchy: bool,
+    /// Interconnect/directory hierarchy shape (flat for the paper's
+    /// single-bus machine).
+    pub topology: Topology,
 }
 
 impl Default for MachineConfig {
@@ -56,6 +62,7 @@ impl Default for MachineConfig {
             write_buffer_entries: 10,
             intra_node_transfers: true,
             inclusive_hierarchy: true,
+            topology: Topology::flat(),
         }
     }
 }
@@ -72,6 +79,20 @@ pub enum ConfigError {
     ZeroParameter(&'static str),
     /// The derived cache would have no capacity for this working set.
     DegenerateCache { which: &'static str, ws_bytes: u64 },
+    /// `procs_per_node` cannot exceed the total processor count.
+    ProcsPerNodeExceedsProcs {
+        n_procs: usize,
+        procs_per_node: usize,
+    },
+    /// More nodes than the sharer sets can represent.
+    TooManyNodes { n_nodes: usize, max: usize },
+    /// More cluster groups than a directory presence mask can represent.
+    TooManyGroups { n_groups: usize, max: usize },
+    /// Every group must contain the same whole number of nodes.
+    GroupsDontDivideNodes { n_nodes: usize, n_groups: usize },
+    /// Level count inconsistent with the group count (flat needs 0 levels,
+    /// multiple groups need 1 ≤ levels ≤ ⌈log₂ n_groups⌉).
+    LevelsOutOfRange { n_groups: usize, levels: usize },
 }
 
 impl fmt::Display for ConfigError {
@@ -85,6 +106,25 @@ impl fmt::Display for ConfigError {
             ConfigError::DegenerateCache { which, ws_bytes } => write!(
                 f,
                 "{which} degenerates to zero capacity for working set of {ws_bytes} bytes"
+            ),
+            ConfigError::ProcsPerNodeExceedsProcs { n_procs, procs_per_node } => write!(
+                f,
+                "procs_per_node ({procs_per_node}) exceeds n_procs ({n_procs})"
+            ),
+            ConfigError::TooManyNodes { n_nodes, max } => {
+                write!(f, "{n_nodes} nodes exceed the sharer-set capacity of {max}")
+            }
+            ConfigError::TooManyGroups { n_groups, max } => {
+                write!(f, "{n_groups} groups exceed the presence-mask capacity of {max}")
+            }
+            ConfigError::GroupsDontDivideNodes { n_nodes, n_groups } => write!(
+                f,
+                "{n_groups} groups do not evenly partition {n_nodes} nodes"
+            ),
+            ConfigError::LevelsOutOfRange { n_groups, levels } => write!(
+                f,
+                "{levels} directory levels inconsistent with {n_groups} groups \
+                 (flat needs 0; multiple groups need 1..=ceil(log2 n_groups))"
             ),
         }
     }
@@ -126,11 +166,45 @@ impl MachineConfig {
         if self.slc_ws_ratio == 0 {
             return Err(ConfigError::ZeroParameter("slc_ws_ratio"));
         }
+        if self.procs_per_node > self.n_procs {
+            return Err(ConfigError::ProcsPerNodeExceedsProcs {
+                n_procs: self.n_procs,
+                procs_per_node: self.procs_per_node,
+            });
+        }
         if !self.n_procs.is_multiple_of(self.procs_per_node) {
             return Err(ConfigError::ProcsNotDivisible {
                 n_procs: self.n_procs,
                 procs_per_node: self.procs_per_node,
             });
+        }
+        let n_nodes = self.n_nodes();
+        if n_nodes > NodeSet::CAPACITY {
+            return Err(ConfigError::TooManyNodes {
+                n_nodes,
+                max: NodeSet::CAPACITY,
+            });
+        }
+        let Topology { n_groups, levels } = self.topology;
+        if n_groups == 0 {
+            return Err(ConfigError::ZeroParameter("topology.n_groups"));
+        }
+        if n_groups > 64 {
+            return Err(ConfigError::TooManyGroups { n_groups, max: 64 });
+        }
+        // Flat ⇔ zero levels; a multi-group tree needs at least one level
+        // and no more than a binary tree would (deeper chains degenerate).
+        let max_levels = if n_groups == 1 {
+            0
+        } else {
+            n_groups.next_power_of_two().trailing_zeros() as usize
+        };
+        let min_levels = usize::from(n_groups > 1);
+        if levels < min_levels || levels > max_levels {
+            return Err(ConfigError::LevelsOutOfRange { n_groups, levels });
+        }
+        if n_groups > n_nodes || !n_nodes.is_multiple_of(n_groups) {
+            return Err(ConfigError::GroupsDontDivideNodes { n_nodes, n_groups });
         }
         Ok(())
     }
@@ -173,6 +247,7 @@ impl MachineConfig {
             slc_assoc: self.slc_assoc,
             am_sets,
             am_assoc: self.am_assoc,
+            topology: self.topology,
         })
     }
 }
@@ -191,9 +266,23 @@ pub struct MachineGeometry {
     pub slc_assoc: usize,
     pub am_sets: u64,
     pub am_assoc: usize,
+    /// Interconnect/directory hierarchy shape.
+    pub topology: Topology,
 }
 
 impl MachineGeometry {
+    /// Nodes sharing each cluster-group bus.
+    #[inline]
+    pub fn nodes_per_group(&self) -> usize {
+        self.n_nodes / self.topology.n_groups
+    }
+
+    /// Cluster group a node's bus belongs to.
+    #[inline]
+    pub fn group_of(&self, node: NodeId) -> usize {
+        node.0 as usize / self.nodes_per_group()
+    }
+
     /// Attraction-memory capacity per node, in lines.
     #[inline]
     pub fn am_node_lines(&self) -> u64 {
@@ -239,6 +328,11 @@ pub struct LatencyConfig {
     pub bus_ns: Nanos,
     /// Global bus occupancy per phase.
     pub bus_occ_ns: Nanos,
+    /// Inter-level link latency per directory level crossed (hierarchical
+    /// topologies only; the flat machine crosses no links).
+    pub link_ns: Nanos,
+    /// Inter-level link occupancy per crossing.
+    pub link_occ_ns: Nanos,
     /// Remainder of the remote path (arbitration + overlapped local fill).
     pub remote_extra_ns: Nanos,
     /// Penalty for an injection that finds no receiving slot anywhere:
@@ -264,6 +358,8 @@ impl LatencyConfig {
             dram_occ_ns: 100,
             bus_ns: 20,
             bus_occ_ns: 20,
+            link_ns: 20,
+            link_occ_ns: 20,
             // 24 (local miss) + 20 (req) + 24+100+24 (remote AM) + 20 (resp)
             // + 24 (local return) = 236; +96 → the paper's 332 ns.
             remote_extra_ns: 96,
@@ -443,5 +539,110 @@ mod tests {
         let l = LatencyConfig::paper_half_bus();
         assert_eq!(l.remote_ns(), 332);
         assert_eq!(l.bus_occ_ns, 40);
+    }
+
+    #[test]
+    fn oversized_node_rejected() {
+        let c = MachineConfig {
+            n_procs: 8,
+            procs_per_node: 16,
+            ..Default::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ProcsPerNodeExceedsProcs {
+                n_procs: 8,
+                procs_per_node: 16,
+            })
+        );
+    }
+
+    #[test]
+    fn too_many_nodes_rejected() {
+        let c = MachineConfig {
+            n_procs: 512,
+            procs_per_node: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TooManyNodes {
+                n_nodes: 512,
+                max: 256,
+            })
+        );
+    }
+
+    #[test]
+    fn group_and_level_ranges_enforced() {
+        let with_topo = |n_procs, ppn, topology| MachineConfig {
+            n_procs,
+            procs_per_node: ppn,
+            topology,
+            ..Default::default()
+        };
+        // Zero groups.
+        assert_eq!(
+            with_topo(16, 1, Topology::tree(0, 1)).validate(),
+            Err(ConfigError::ZeroParameter("topology.n_groups"))
+        );
+        // More groups than a u64 presence mask holds.
+        assert_eq!(
+            with_topo(256, 1, Topology::tree(128, 7)).validate(),
+            Err(ConfigError::TooManyGroups {
+                n_groups: 128,
+                max: 64,
+            })
+        );
+        // Flat machine with a spurious upper level, and a multi-group
+        // machine with none.
+        assert!(matches!(
+            with_topo(16, 1, Topology::tree(1, 1)).validate(),
+            Err(ConfigError::LevelsOutOfRange { .. })
+        ));
+        assert!(matches!(
+            with_topo(16, 1, Topology::tree(4, 0)).validate(),
+            Err(ConfigError::LevelsOutOfRange { .. })
+        ));
+        // Deeper than a binary tree needs.
+        assert!(matches!(
+            with_topo(16, 1, Topology::tree(4, 3)).validate(),
+            Err(ConfigError::LevelsOutOfRange { .. })
+        ));
+        // Groups must evenly partition the nodes.
+        assert_eq!(
+            with_topo(16, 2, Topology::two_level(3)).validate(),
+            Err(ConfigError::GroupsDontDivideNodes {
+                n_nodes: 8,
+                n_groups: 3,
+            })
+        );
+        // A well-formed 64-processor 2-level machine passes.
+        with_topo(64, 4, Topology::two_level(4)).validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchical_geometry_carries_topology() {
+        let c = MachineConfig {
+            n_procs: 64,
+            procs_per_node: 4,
+            topology: Topology::two_level(4),
+            ..Default::default()
+        };
+        let g = c.geometry(4 << 20).unwrap();
+        assert_eq!(g.topology, Topology::two_level(4));
+        assert_eq!(g.nodes_per_group(), 4);
+        assert_eq!(g.group_of(NodeId(0)), 0);
+        assert_eq!(g.group_of(NodeId(5)), 1);
+        assert_eq!(g.group_of(NodeId(15)), 3);
+    }
+
+    #[test]
+    fn link_latency_defaults_match_bus_phase() {
+        let l = LatencyConfig::paper_default();
+        assert_eq!(l.link_ns, 20);
+        assert_eq!(l.link_occ_ns, 20);
+        // The bandwidth-variant constructors inherit the link timing.
+        assert_eq!(LatencyConfig::paper_half_bus().link_ns, 20);
     }
 }

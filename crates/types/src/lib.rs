@@ -16,14 +16,18 @@ pub mod addr;
 pub mod config;
 pub mod fastmod;
 pub mod ids;
+pub mod nodeset;
 pub mod pressure;
 pub mod rng;
 pub mod time;
+pub mod topology;
 
 pub use addr::{Addr, LineNum, LINE_BYTES, LINE_SHIFT, PAGE_BYTES, PAGE_SHIFT};
 pub use config::{ConfigError, LatencyConfig, MachineConfig, MachineGeometry};
 pub use fastmod::FastMod;
 pub use ids::{NodeId, ProcId};
+pub use nodeset::NodeSet;
 pub use pressure::{full_replication_threshold, MemoryPressure};
 pub use rng::{Rng64, ZipfSampler};
 pub use time::Nanos;
+pub use topology::Topology;

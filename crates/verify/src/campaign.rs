@@ -61,8 +61,16 @@ fn run_mutants_inner() -> bool {
     for (mutation, name) in [
         (Mutation::SkipInvalidate, "skip-invalidate"),
         (Mutation::ForgetDirectoryUpdate, "forget-directory-update"),
+        (Mutation::ForgetSubtreePresence, "forget-subtree-presence"),
     ] {
-        let cfg = CheckConfig::two_node_one_line();
+        // Each mutation runs on a machine where it can fire at all:
+        // presence corruption needs directory levels, so the subtree
+        // mutant gets the two-level config; the flat machine has no
+        // masks to forget and would let it pass silently.
+        let cfg = match mutation {
+            Mutation::ForgetSubtreePresence => CheckConfig::two_level(),
+            _ => CheckConfig::two_node_one_line(),
+        };
         let r = explore(&cfg, MutantEngine::new(cfg.build_engine(), mutation));
         match r.violation {
             Some(v) => println!(
@@ -75,7 +83,10 @@ fn run_mutants_inner() -> bool {
             }
         }
 
-        let fcfg = FuzzConfig::pressured(20_000, 0xBAD_5EED);
+        let fcfg = match mutation {
+            Mutation::ForgetSubtreePresence => FuzzConfig::pressured_two_level(20_000, 0xBAD_5EED),
+            _ => FuzzConfig::pressured(20_000, 0xBAD_5EED),
+        };
         let fr = fuzz(&fcfg, &|| MutantEngine::new(fcfg.build_engine(), mutation));
         match fr.failure {
             Some(f) => println!(
@@ -99,12 +110,17 @@ fn run_mutants_inner() -> bool {
 pub fn run(smoke: bool, seed: u64) -> bool {
     let mut ok = true;
     ok &= run_check("2n×1p×1line (closure)", &CheckConfig::two_node_one_line());
+    ok &= run_check("2g×2n×1p×1line (closure)", &CheckConfig::two_level());
     if smoke {
         ok &= run_check(
             "2n×1p×3line depth 5 (pressured)",
             &CheckConfig::pressured(2, 1, 3),
         );
         ok &= run_fuzz("2×2 pressured 10k", &FuzzConfig::pressured(10_000, seed));
+        ok &= run_fuzz(
+            "2g×2n pressured 10k",
+            &FuzzConfig::pressured_two_level(10_000, seed),
+        );
     } else {
         let mut two_line = CheckConfig::two_node_one_line();
         two_line.n_lines = 2;
@@ -129,6 +145,12 @@ pub fn run(smoke: bool, seed: u64) -> bool {
             ok &= run_fuzz(
                 &format!("2×2 pressured 100k #{i}"),
                 &FuzzConfig::pressured(100_000, s),
+            );
+        }
+        for (i, s) in [seed, 0x5EED].into_iter().enumerate() {
+            ok &= run_fuzz(
+                &format!("2g×2n pressured 100k #{i}"),
+                &FuzzConfig::pressured_two_level(100_000, s),
             );
         }
     }

@@ -20,7 +20,7 @@ use crate::snapshot::Snapshot;
 use crate::ProtocolModel;
 use coma_cache::{AcceptPolicy, VictimPolicy};
 use coma_protocol::CoherenceEngine;
-use coma_types::{LineNum, MachineGeometry, ProcId};
+use coma_types::{LineNum, MachineGeometry, ProcId, Topology};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -74,6 +74,10 @@ impl fmt::Display for Violation {
 pub struct CheckConfig {
     pub n_nodes: usize,
     pub procs_per_node: usize,
+    /// Cluster groups the nodes split into (1 = the paper's flat bus).
+    pub n_groups: usize,
+    /// Directory levels above the group buses (0 iff flat).
+    pub levels: usize,
     /// Lines `0..n_lines` form the op universe.
     pub n_lines: u64,
     pub am_sets: u64,
@@ -95,6 +99,30 @@ impl CheckConfig {
         CheckConfig {
             n_nodes: 2,
             procs_per_node: 1,
+            n_groups: 1,
+            levels: 0,
+            n_lines: 1,
+            am_sets: 1,
+            am_assoc: 1,
+            slc_sets: 1,
+            slc_assoc: 1,
+            flc_sets: 1,
+            depth: None,
+            inclusive: true,
+            max_states: 1 << 20,
+        }
+    }
+
+    /// The smallest hierarchical machine: 2 groups × 2 nodes × 1
+    /// processor with one directory level above the group buses, over a
+    /// single line — small enough to close the reachable space while
+    /// exercising cross-group presence tracking.
+    pub fn two_level() -> Self {
+        CheckConfig {
+            n_nodes: 4,
+            procs_per_node: 1,
+            n_groups: 2,
+            levels: 1,
             n_lines: 1,
             am_sets: 1,
             am_assoc: 1,
@@ -113,6 +141,8 @@ impl CheckConfig {
         CheckConfig {
             n_nodes,
             procs_per_node,
+            n_groups: 1,
+            levels: 0,
             n_lines,
             am_sets: 1,
             am_assoc: 2,
@@ -135,6 +165,10 @@ impl CheckConfig {
             slc_assoc: self.slc_assoc,
             am_sets: self.am_sets,
             am_assoc: self.am_assoc,
+            topology: Topology {
+                n_groups: self.n_groups,
+                levels: self.levels,
+            },
         }
     }
 
@@ -303,6 +337,18 @@ mod tests {
         // trivial (FLC/SLC/AM recency and permission combinations).
         assert!(r.states_explored > 4, "suspiciously few states: {r:?}");
         assert!(r.transitions_deduped > 0);
+    }
+
+    #[test]
+    fn two_level_space_is_closed_and_clean() {
+        let cfg = CheckConfig::two_level();
+        let r = check(&cfg);
+        assert!(r.exhausted, "frontier did not drain: {r:?}");
+        assert!(r.violation.is_none(), "{}", r.violation.unwrap());
+        // Four nodes in two groups reach strictly more states than two
+        // flat nodes over the same line universe.
+        let flat = check(&CheckConfig::two_node_one_line());
+        assert!(r.states_explored > flat.states_explored);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::ProtocolModel;
 use coma_cache::{AcceptPolicy, VictimPolicy};
 use coma_protocol::CoherenceEngine;
 use coma_stats::Level;
-use coma_types::{LineNum, MachineGeometry, ProcId, Rng64};
+use coma_types::{LineNum, MachineGeometry, ProcId, Rng64, Topology};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -41,6 +41,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 pub struct FuzzConfig {
     pub n_nodes: usize,
     pub procs_per_node: usize,
+    /// Cluster groups the nodes split into (1 = the paper's flat bus).
+    pub n_groups: usize,
+    /// Directory levels above the group buses (0 iff flat).
+    pub levels: usize,
     /// Lines `0..n_lines` form the op universe. Keep it a small multiple
     /// of the total AM capacity so replacement and page-out stay hot.
     pub n_lines: u64,
@@ -62,8 +66,31 @@ impl FuzzConfig {
         FuzzConfig {
             n_nodes: 2,
             procs_per_node: 2,
+            n_groups: 1,
+            levels: 0,
             n_lines: 32,
             am_sets: 4,
+            am_assoc: 2,
+            slc_sets: 2,
+            slc_assoc: 2,
+            flc_sets: 4,
+            n_ops,
+            seed,
+            write_pct: 35,
+        }
+    }
+
+    /// A pressured hierarchical machine: 2 groups × 2 nodes with one
+    /// directory level, 32 lines over 16 AM slots — cross-group
+    /// invalidation, injection and presence tracking all stay hot.
+    pub fn pressured_two_level(n_ops: u64, seed: u64) -> Self {
+        FuzzConfig {
+            n_nodes: 4,
+            procs_per_node: 1,
+            n_groups: 2,
+            levels: 1,
+            n_lines: 32,
+            am_sets: 2,
             am_assoc: 2,
             slc_sets: 2,
             slc_assoc: 2,
@@ -84,6 +111,10 @@ impl FuzzConfig {
             slc_assoc: self.slc_assoc,
             am_sets: self.am_sets,
             am_assoc: self.am_assoc,
+            topology: Topology {
+                n_groups: self.n_groups,
+                levels: self.levels,
+            },
         }
     }
 
@@ -362,6 +393,14 @@ mod tests {
     #[test]
     fn clean_engine_sustains_ten_thousand_ops() {
         let cfg = FuzzConfig::pressured(10_000, 0xC0A);
+        let r = fuzz(&cfg, &|| cfg.build_engine());
+        assert!(r.failure.is_none(), "{}", r.failure.unwrap());
+        assert_eq!(r.ops_run, 10_000);
+    }
+
+    #[test]
+    fn clean_two_level_engine_sustains_ten_thousand_ops() {
+        let cfg = FuzzConfig::pressured_two_level(10_000, 0xC0A);
         let r = fuzz(&cfg, &|| cfg.build_engine());
         assert!(r.failure.is_none(), "{}", r.failure.unwrap());
         assert_eq!(r.ops_run, 10_000);

@@ -11,7 +11,7 @@
 use crate::ProtocolModel;
 use coma_cache::{AmState, Victim};
 use coma_protocol::{CoherenceEngine, Outcome};
-use coma_types::{LineNum, NodeId, ProcId};
+use coma_types::{LineNum, NodeId, NodeSet, ProcId};
 
 /// Which protocol bug to seed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,6 +25,12 @@ pub enum Mutation {
     /// sharer set is restored in the directory even though the copies
     /// were invalidated (directory claims holders that do not exist).
     ForgetDirectoryUpdate,
+    /// The level-1 directory "forgets" which subtrees hold the written
+    /// line (as if the presence update message was lost): its stored
+    /// mask is zeroed while the root entry and the copies stay intact.
+    /// Only meaningful on hierarchical topologies — flat machines have
+    /// no directory levels to corrupt.
+    ForgetSubtreePresence,
 }
 
 /// The clean engine plus one seeded [`Mutation`].
@@ -43,10 +49,16 @@ impl MutantEngine {
         self.inner
     }
 
-    fn corrupt_after_write(&mut self, writer_node: usize, line: LineNum, pre_sharers: u16) {
+    fn corrupt_after_write(&mut self, writer_node: usize, line: LineNum, pre_sharers: NodeSet) {
+        if self.mutation == Mutation::ForgetSubtreePresence {
+            if let Some(mask) = self.inner.directory_mut().presence_mut(1, line) {
+                *mask = 0;
+            }
+            return;
+        }
         // Only trigger off genuine invalidations: some other node held a
         // Shared replica before this write.
-        let victim = (0..16u16).find(|&n| n as usize != writer_node && pre_sharers & (1 << n) != 0);
+        let victim = pre_sharers.iter().find(|&n| n as usize != writer_node);
         let Some(victim) = victim else { return };
         match self.mutation {
             Mutation::SkipInvalidate => {
@@ -65,6 +77,7 @@ impl MutantEngine {
                     self.inner.directory_mut().add_sharer(line, NodeId(victim));
                 }
             }
+            Mutation::ForgetSubtreePresence => unreachable!("handled above"),
         }
     }
 }
@@ -81,14 +94,13 @@ impl ProtocolModel for MutantEngine {
             .directory()
             .get(line)
             .map(|i| {
-                let owner_bit = if i.owner.as_usize() != writer_node {
-                    1 << i.owner.0
-                } else {
-                    0
-                };
-                i.sharers | owner_bit
+                let mut s = i.sharers;
+                if i.owner.as_usize() != writer_node {
+                    s.insert(i.owner.0);
+                }
+                s
             })
-            .unwrap_or(0);
+            .unwrap_or_default();
         let out = self.inner.write(proc, line);
         self.corrupt_after_write(writer_node, line, pre);
         out
@@ -114,5 +126,31 @@ mod tests {
         m.write(ProcId(1), LineNum(0)); // upgrade "loses" node 0's inval
         let snap = Snapshot::capture(m.engine());
         assert!(snap.check(true).is_err(), "mutation produced a legal state");
+    }
+
+    #[test]
+    fn forget_subtree_presence_leaves_an_illegal_mask() {
+        let cfg = CheckConfig::two_level();
+        let mut m = MutantEngine::new(cfg.build_engine(), Mutation::ForgetSubtreePresence);
+        m.write(ProcId(0), LineNum(0)); // presence update "lost"
+        let snap = Snapshot::capture(m.engine());
+        assert!(snap.check(true).is_err(), "mutation produced a legal state");
+    }
+
+    #[test]
+    fn forget_subtree_presence_trips_the_live_auditor() {
+        // The corruption lands after the write's own audit; the *next*
+        // audited transaction (a cold allocation of a different line, so
+        // line 0's masks are not re-synced first) must expose it.
+        let mut cfg = CheckConfig::two_level();
+        cfg.am_sets = 2; // room for a second line without evicting line 0
+        let mut engine = cfg.build_engine();
+        engine.set_audit(true);
+        let mut m = MutantEngine::new(engine, Mutation::ForgetSubtreePresence);
+        m.write(ProcId(0), LineNum(0));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.write(ProcId(3), LineNum(1))
+        }));
+        assert!(caught.is_err(), "live auditor missed the corrupted mask");
     }
 }

@@ -22,6 +22,8 @@ fn config(n_nodes: usize, assoc: usize) -> CheckConfig {
     CheckConfig {
         n_nodes,
         procs_per_node: 1,
+        n_groups: 1,
+        levels: 0,
         n_lines: (n_nodes * assoc + 2) as u64, // unused: no search here
         am_sets: 1,                            // every line conflicts
         am_assoc: assoc,

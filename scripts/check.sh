@@ -21,6 +21,14 @@ COMA_SCALE=smoke COMA_THREADS=4 cargo test -q --offline -p coma --test sweep_det
 echo "==> protocol verification smoke: bounded model check + 10k fuzz ops"
 cargo run --release --offline -p coma-verify -- --smoke
 
+echo "==> hierarchy smoke: 64-proc 2-level machine end to end"
+# A hierarchical config through the CLI (validate + route-aware timing
+# walk) and one tree-vs-flat sweep cell through the cached sweep engine.
+cargo run --release --offline -p coma-cli --bin coma -- \
+  run --app fft --procs 64 --ppn 4 --groups 4 --scale smoke
+COMA_SCALE=smoke COMA_OUT=$(mktemp -d) \
+  cargo run --release --offline -p coma-experiments --bin hierarchy -- --smoke
+
 echo "==> bench smoke: one iteration per case, output must validate"
 # The bench overwrites the tracked baseline, so park it and put it back:
 # the smoke run only proves the harness works end to end.
