@@ -1,0 +1,134 @@
+//! Performance-regression guard over `BENCH_sim.json`.
+//!
+//! Compares a freshly measured bench file against the committed baseline
+//! and fails (exit 1) if any tracked case's `min_ns` regressed by more
+//! than the tolerance. Minima are compared — not means — because the
+//! minimum of several iterations is the least noise-contaminated
+//! estimate of a deterministic simulation's true cost.
+//!
+//! ```text
+//! perf_guard <baseline.json> <fresh.json> [--tolerance-pct 10]
+//! ```
+//!
+//! Cases present in the baseline but missing from the fresh file are
+//! errors (a silently dropped case would un-track a regression); new
+//! cases in the fresh file are reported but allowed, so adding a bench
+//! case does not require a lockstep baseline update.
+
+use coma_bench::json::{parse, Value};
+use std::process::ExitCode;
+
+struct Case {
+    name: String,
+    min_ns: u64,
+}
+
+fn load_cases(path: &str) -> Result<Vec<Case>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read ({e})"))?;
+    let doc = parse(&text).map_err(|off| format!("{path}: invalid JSON at byte {off}"))?;
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != "coma-bench-sim/1" {
+        return Err(format!("{path}: unexpected schema {schema:?}"));
+    }
+    let Some(Value::Arr(cases)) = doc.get("cases") else {
+        return Err(format!("{path}: missing \"cases\" array"));
+    };
+    cases
+        .iter()
+        .map(|c| {
+            let name = c
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path}: case without a name"))?;
+            let min_ns = c
+                .get("min_ns")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{path}: case {name} has no integer min_ns"))?;
+            Ok(Case {
+                name: name.to_string(),
+                min_ns,
+            })
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, fresh_path: &str, tol_pct: f64) -> Result<(), String> {
+    let baseline = load_cases(baseline_path)?;
+    let fresh = load_cases(fresh_path)?;
+    let fresh_of = |name: &str| fresh.iter().find(|c| c.name == name);
+
+    let mut failures = Vec::new();
+    println!("perf guard: tolerance {tol_pct}% over {baseline_path}");
+    for b in &baseline {
+        let Some(f) = fresh_of(&b.name) else {
+            failures.push(format!("{}: missing from {fresh_path}", b.name));
+            continue;
+        };
+        let ratio = f.min_ns as f64 / b.min_ns as f64;
+        let delta_pct = (ratio - 1.0) * 100.0;
+        let verdict = if delta_pct > tol_pct {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:30} base {:>12} ns  fresh {:>12} ns  {:+6.1}%  {}",
+            b.name, b.min_ns, f.min_ns, delta_pct, verdict
+        );
+        if delta_pct > tol_pct {
+            failures.push(format!(
+                "{}: min_ns {} -> {} ({delta_pct:+.1}%, tolerance {tol_pct}%)",
+                b.name, b.min_ns, f.min_ns
+            ));
+        }
+    }
+    for f in &fresh {
+        if !baseline.iter().any(|b| b.name == f.name) {
+            println!("  {:30} new case (not in baseline, allowed)", f.name);
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "perf guard: all {} tracked cases within tolerance",
+            baseline.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "perf guard: {} regression(s):\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tol_pct = 10.0;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance-pct" {
+            let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                eprintln!("--tolerance-pct needs a numeric argument");
+                return ExitCode::FAILURE;
+            };
+            tol_pct = v;
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [baseline, fresh] = paths.as_slice() else {
+        eprintln!("usage: perf_guard <baseline.json> <fresh.json> [--tolerance-pct 10]");
+        return ExitCode::FAILURE;
+    };
+    match run(baseline, fresh, tol_pct) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

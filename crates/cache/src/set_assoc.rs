@@ -3,37 +3,66 @@
 //! The array is one flat slab of packed `(line, state)` slots: set `i`
 //! owns the stride `[i * assoc, (i + 1) * assoc)`, with its valid entries
 //! compacted at the front **in recency order** (slot 0 of the stride is
-//! most-recently-used, the last valid slot is the LRU victim) and a
-//! `NO_LINE` sentinel terminating the run. Recency *is* the storage
+//! most-recently-used, the last valid slot is the LRU victim) and an
+//! empty-slot sentinel terminating the run. Recency *is* the storage
 //! order: a hit rotates its slot to the front of the stride, an insert
 //! shifts the stride down and writes the front, and the eviction victim
 //! is simply the stride's last slot — exactly the order a unique
 //! monotone-tick true-LRU would produce, with no tick, per-slot LRU word,
 //! or per-set length to maintain.
 //!
-//! The layout is the point: a 4-way set of 16-byte slots is one 64-byte
+//! The layout is the point: a 4-way set of 8-byte slots is half a 64-byte
 //! cache line, so a probe — hit, miss, or evicting fill — touches a
 //! single line of one array. Attraction memories are sized to a fraction
 //! of the *working set* and do not fit in the host's caches; splitting
 //! lines, states, and LRU ticks across parallel arrays (a previous
 //! incarnation of this type) costs several DRAM misses per probe where
-//! this layout pays one. The rotation memmove is at most `assoc - 1`
-//! slots within that same line.
+//! this layout pays one. Line keys are stored as `line + 1` in a `u32`
+//! (`0` = empty): the simulated address space is allocated consecutively
+//! from zero (paper §3), so real line numbers are far below `u32` range,
+//! and the narrower key doubles how much of an attraction memory fits in
+//! the host's caches and TLB reach. The rotation memmove is at most
+//! `assoc - 1` slots within one or two lines.
 //!
 //! Set indexing uses a precomputed [`FastMod`] because set counts are not
 //! powers of two (the paper's "odd cache sizes").
 
 use coma_types::{FastMod, LineNum};
 
-/// Sentinel marking an empty slot. Line numbers are addresses divided by
-/// the line size, so the top of the `u64` range is unreachable.
-const NO_LINE: LineNum = LineNum(u64::MAX);
+/// Stored key for an empty slot; occupied slots hold `line + 1`.
+const EMPTY: u32 = 0;
 
-/// One packed cache slot: the resident line and its protocol state.
+/// Largest representable line number (`u32::MAX - 1`, since keys store
+/// `line + 1`). Simulated working sets top out orders of magnitude below
+/// this — [`SetAssoc::insert`] enforces it.
+const MAX_LINE: u64 = (u32::MAX - 1) as u64;
+
+/// One packed cache slot: the resident line's key and its protocol state.
 #[derive(Clone, Copy, Debug)]
 struct Slot<S> {
-    line: LineNum,
+    key: u32,
     state: S,
+}
+
+impl<S> Slot<S> {
+    /// The resident line; only meaningful when `key != EMPTY`.
+    #[inline]
+    fn line(&self) -> LineNum {
+        LineNum((self.key - 1) as u64)
+    }
+}
+
+/// Key a probe compares against. Lines beyond [`MAX_LINE`] cannot be
+/// resident (insert asserts), so their probes must simply miss — map
+/// them to the unmatchable `u32::MAX` instead of letting the narrowing
+/// conversion alias a small resident line.
+#[inline]
+fn probe_key(line: LineNum) -> u32 {
+    if line.0 <= MAX_LINE {
+        line.0 as u32 + 1
+    } else {
+        u32::MAX
+    }
 }
 
 /// A set-associative array of `n_sets × assoc` line slots.
@@ -43,7 +72,7 @@ pub struct SetAssoc<S> {
     assoc: usize,
     set_mod: FastMod,
     /// `n_sets * assoc` slots; each stride holds its valid entries at the
-    /// front, most-recent first, then `NO_LINE` padding.
+    /// front, most-recent first, then empty padding.
     slots: Vec<Slot<S>>,
     len: usize,
 }
@@ -62,7 +91,7 @@ impl<S: Copy + Default> SetAssoc<S> {
             set_mod: FastMod::new(n_sets),
             slots: vec![
                 Slot {
-                    line: NO_LINE,
+                    key: EMPTY,
                     state: S::default()
                 };
                 slots
@@ -98,6 +127,13 @@ impl<S: Copy + Default> SetAssoc<S> {
         self.set_mod.reduce(line.0)
     }
 
+    /// Hint the host CPU to pull `line`'s set toward L1 ahead of a probe.
+    /// Purely a performance hint — touches no state.
+    #[inline]
+    pub fn prefetch(&self, line: LineNum) {
+        coma_types::prefetch_read(&self.slots[self.base_of(line)]);
+    }
+
     /// Stride base of the set that `line` maps to.
     #[inline]
     fn base_of(&self, line: LineNum) -> usize {
@@ -107,13 +143,14 @@ impl<S: Copy + Default> SetAssoc<S> {
     /// Slot index of `line` if resident.
     #[inline]
     fn find(&self, line: LineNum) -> Option<usize> {
+        let key = probe_key(line);
         let base = self.base_of(line);
         for i in base..base + self.assoc {
-            let l = self.slots[i].line;
-            if l == line {
+            let k = self.slots[i].key;
+            if k == key {
                 return Some(i);
             }
-            if l == NO_LINE {
+            if k == EMPTY {
                 return None;
             }
         }
@@ -158,7 +195,7 @@ impl<S: Copy + Default> SetAssoc<S> {
         let base = self.base_of(line);
         let last = base + self.assoc - 1;
         self.slots.copy_within(i + 1..last + 1, i);
-        self.slots[last].line = NO_LINE;
+        self.slots[last].key = EMPTY;
         self.len -= 1;
         Some(state)
     }
@@ -167,19 +204,22 @@ impl<S: Copy + Default> SetAssoc<S> {
     #[inline]
     pub fn has_free_slot(&self, line: LineNum) -> bool {
         let base = self.base_of(line);
-        self.slots[base + self.assoc - 1].line == NO_LINE
+        self.slots[base + self.assoc - 1].key == EMPTY
     }
 
     /// Insert a line known to be absent. Panics (debug) if the set is full
     /// or the line already resident — callers must evict first.
     pub fn insert(&mut self, line: LineNum, state: S) {
-        debug_assert_ne!(line, NO_LINE, "sentinel inserted as a real line");
+        assert!(line.0 <= MAX_LINE, "line number exceeds u32 key range");
         debug_assert!(self.find(line).is_none(), "duplicate insert");
         let base = self.base_of(line);
         let last = base + self.assoc - 1;
-        debug_assert_eq!(self.slots[last].line, NO_LINE, "insert into full set");
+        debug_assert_eq!(self.slots[last].key, EMPTY, "insert into full set");
         self.slots.copy_within(base..last, base + 1);
-        self.slots[base] = Slot { line, state };
+        self.slots[base] = Slot {
+            key: line.0 as u32 + 1,
+            state,
+        };
         self.len += 1;
     }
 
@@ -193,24 +233,25 @@ impl<S: Copy + Default> SetAssoc<S> {
     /// valid slot — if the set is full; the evicted `(line, state)` is
     /// returned.
     pub fn insert_evicting(&mut self, line: LineNum, state: S) -> Option<(LineNum, S)> {
-        debug_assert_ne!(line, NO_LINE, "sentinel inserted as a real line");
+        assert!(line.0 <= MAX_LINE, "line number exceeds u32 key range");
+        let key = line.0 as u32 + 1;
         let base = self.base_of(line);
         let last = base + self.assoc - 1;
         for i in base..base + self.assoc {
-            if self.slots[i].line == line {
+            if self.slots[i].key == key {
                 self.slots[i].state = state;
                 return None;
             }
         }
-        let evicted = match self.slots[last].line {
-            NO_LINE => {
+        let evicted = match self.slots[last].key {
+            EMPTY => {
                 self.len += 1;
                 None
             }
-            l => Some((l, self.slots[last].state)),
+            _ => Some((self.slots[last].line(), self.slots[last].state)),
         };
         self.slots.copy_within(base..last, base + 1);
-        self.slots[base] = Slot { line, state };
+        self.slots[base] = Slot { key, state };
         evicted
     }
 
@@ -224,10 +265,10 @@ impl<S: Copy + Default> SetAssoc<S> {
     pub fn scan_set(&self, line: LineNum, mut visit: impl FnMut(LineNum, S)) {
         let base = self.base_of(line);
         for slot in &self.slots[base..base + self.assoc] {
-            if slot.line == NO_LINE {
+            if slot.key == EMPTY {
                 break;
             }
-            visit(slot.line, slot.state);
+            visit(slot.line(), slot.state);
         }
     }
 
@@ -252,8 +293,8 @@ impl<S: Copy + Default> SetAssoc<S> {
         self.slots.chunks_exact(self.assoc).flat_map(|stride| {
             stride
                 .iter()
-                .take_while(|slot| slot.line != NO_LINE)
-                .map(|slot| (slot.line, slot.state))
+                .take_while(|slot| slot.key != EMPTY)
+                .map(|slot| (slot.line(), slot.state))
         })
     }
 }
@@ -422,6 +463,27 @@ mod tests {
         assert!(!c.has_free_slot(LineNum(5)));
         assert_eq!(c.peek(LineNum(18)), Some(2));
         assert_eq!(c.peek(LineNum(31)), None);
+    }
+
+    #[test]
+    fn out_of_range_probe_misses_without_aliasing() {
+        let mut c = arr(4, 2);
+        c.insert(LineNum(3), 1);
+        // (2^32 + 3) mod 4 == 3: same set, and the narrowed key would
+        // alias line 3 without the probe-key guard.
+        let huge = LineNum((1u64 << 32) + 3);
+        assert_eq!(c.peek(huge), None);
+        assert_eq!(c.lookup(huge), None);
+        assert_eq!(c.remove(huge), None);
+        assert!(!c.set_state(huge, 9));
+        assert_eq!(c.peek(LineNum(3)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 key range")]
+    fn oversized_line_insert_panics() {
+        let mut c = arr(4, 2);
+        c.insert(LineNum(u64::MAX - 1), 0);
     }
 
     #[test]

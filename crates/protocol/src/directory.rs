@@ -85,10 +85,38 @@ impl DirectoryLevel {
     }
 }
 
+/// Inline sharer capacity of a root-table entry. Four inline IDs keep a
+/// root slot at 16 bytes (four slots per host cache line); the benched
+/// workloads' lines rarely have more simultaneous Shared replicas than
+/// that, so the spill table stays tiny and cold.
+const INLINE_SHARERS: usize = 4;
+
+/// `RootEntry::n` marker: the sharer set lives in the spill table.
+const SPILLED: u8 = u8::MAX;
+
+/// Compact stored form of a [`LineInfo`]. A full `NodeSet` is 32 bytes —
+/// sized for 256-node machines — but the root table holds one entry per
+/// live line and is probed on every global action, so its slots are the
+/// single largest host-cache consumer in the simulator. Lines with at
+/// most [`INLINE_SHARERS`] Shared replicas (the overwhelming majority)
+/// store the sharer node IDs inline, unordered; wider lines park their
+/// `NodeSet` in a side table. Once spilled, an entry stays spilled until
+/// its sharer set is cleared — demotion would buy bytes back for a case
+/// too rare to matter at the cost of churn on every `remove_sharer`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct RootEntry {
+    owner: u16,
+    /// Count of valid `inline` entries, or [`SPILLED`].
+    n: u8,
+    inline: [u16; INLINE_SHARERS],
+}
+
 /// The machine-wide line directory (root state + level tree).
 #[derive(Clone, Debug)]
 pub struct Directory {
-    map: OpenTable<LineInfo>,
+    map: OpenTable<RootEntry>,
+    /// Sharer sets of lines too wide for inline storage (see [`RootEntry`]).
+    spill: OpenTable<NodeSet>,
     topo: Topology,
     nodes_per_group: usize,
     levels: Vec<DirectoryLevel>,
@@ -105,6 +133,7 @@ impl Directory {
     pub fn flat() -> Self {
         Directory {
             map: OpenTable::new(),
+            spill: OpenTable::new(),
             topo: Topology::flat(),
             nodes_per_group: usize::MAX, // any node maps to group 0
             levels: Vec::new(),
@@ -121,6 +150,7 @@ impl Directory {
         let topo = geom.topology;
         Directory {
             map: OpenTable::new(),
+            spill: OpenTable::new(),
             topo,
             nodes_per_group: if topo.is_flat() {
                 usize::MAX
@@ -159,6 +189,24 @@ impl Directory {
         mask
     }
 
+    /// Materialize the full [`LineInfo`] a stored entry denotes.
+    #[inline]
+    fn info_of(&self, line: u64, e: RootEntry) -> LineInfo {
+        let sharers = if e.n == SPILLED {
+            self.spill.get(line).expect("spilled sharer set missing")
+        } else {
+            let mut s = NodeSet::empty();
+            for &id in &e.inline[..e.n as usize] {
+                s.insert(id);
+            }
+            s
+        };
+        LineInfo {
+            owner: NodeId(e.owner),
+            sharers,
+        }
+    }
+
     /// Re-derive every level's presence mask for `line` from the root
     /// entry (or drop them when the line died). Called after every
     /// root-state mutation; a no-op on flat machines.
@@ -167,7 +215,8 @@ impl Directory {
             return;
         }
         match self.map.get(line.0) {
-            Some(info) => {
+            Some(e) => {
+                let info = self.info_of(line.0, e);
                 for h in 1..=self.levels.len() {
                     let mask = self.expected_presence(h, info);
                     self.levels[h - 1].map.insert(line.0, mask);
@@ -211,7 +260,14 @@ impl Directory {
     /// Look up a live line.
     #[inline]
     pub fn get(&self, line: LineNum) -> Option<LineInfo> {
-        self.map.get(line.0)
+        self.map.get(line.0).map(|e| self.info_of(line.0, e))
+    }
+
+    /// Pull `line`'s root-table slot toward the host L1 ahead of a probe
+    /// (performance hint only).
+    #[inline]
+    pub fn prefetch(&self, line: LineNum) {
+        self.map.prefetch(line.0);
     }
 
     /// Is the line live anywhere in the machine?
@@ -224,28 +280,73 @@ impl Directory {
     pub fn insert_sole(&mut self, line: LineNum, owner: NodeId) {
         let prev = self.map.insert(
             line.0,
-            LineInfo {
-                owner,
-                sharers: NodeSet::empty(),
+            RootEntry {
+                owner: owner.0,
+                n: 0,
+                inline: [0; INLINE_SHARERS],
             },
         );
         debug_assert!(prev.is_none(), "line {line:?} already live");
         self.sync_presence(line);
     }
 
-    /// Add a Shared replica holder.
+    /// Add a Shared replica holder (idempotent, set semantics).
     pub fn add_sharer(&mut self, line: LineNum, node: NodeId) {
-        let info = self.map.get_mut(line.0).expect("sharer of dead line");
-        debug_assert_ne!(info.owner, node, "owner cannot also be a sharer");
-        info.sharers.insert(node.0);
+        let e = self.map.get_mut(line.0).expect("sharer of dead line");
+        debug_assert_ne!(e.owner, node.0, "owner cannot also be a sharer");
+        if e.n == SPILLED {
+            self.spill
+                .get_mut(line.0)
+                .expect("spilled sharer set missing")
+                .insert(node.0);
+        } else {
+            let n = e.n as usize;
+            if !e.inline[..n].contains(&node.0) {
+                if n < INLINE_SHARERS {
+                    e.inline[n] = node.0;
+                    e.n += 1;
+                } else {
+                    let mut s = NodeSet::empty();
+                    for &id in &e.inline {
+                        s.insert(id);
+                    }
+                    s.insert(node.0);
+                    e.n = SPILLED;
+                    self.spill.insert(line.0, s);
+                }
+            }
+        }
         self.sync_presence(line);
     }
 
     /// Drop a Shared replica holder.
     pub fn remove_sharer(&mut self, line: LineNum, node: NodeId) {
-        if let Some(info) = self.map.get_mut(line.0) {
-            info.sharers.remove(node.0);
+        if let Some(e) = self.map.get_mut(line.0) {
+            Self::entry_remove_sharer(&mut self.spill, line, e, node);
             self.sync_presence(line);
+        }
+    }
+
+    /// Drop `node` from an entry's sharer set, wherever it is stored.
+    /// Inline removal is a swap-remove — order is immaterial, the set is
+    /// materialized through [`NodeSet`].
+    fn entry_remove_sharer(
+        spill: &mut OpenTable<NodeSet>,
+        line: LineNum,
+        e: &mut RootEntry,
+        node: NodeId,
+    ) {
+        if e.n == SPILLED {
+            spill
+                .get_mut(line.0)
+                .expect("spilled sharer set missing")
+                .remove(node.0);
+        } else {
+            let n = e.n as usize;
+            if let Some(i) = e.inline[..n].iter().position(|&id| id == node.0) {
+                e.inline[i] = e.inline[n - 1];
+                e.n -= 1;
+            }
         }
     }
 
@@ -260,27 +361,42 @@ impl Directory {
     /// afterward). Keeps the remaining sharer set unless cleared by the
     /// caller.
     pub fn set_owner(&mut self, line: LineNum, node: NodeId) {
-        let info = self.map.get_mut(line.0).expect("owner of dead line");
-        info.owner = node;
-        info.sharers.remove(node.0);
+        let e = self.map.get_mut(line.0).expect("owner of dead line");
+        e.owner = node.0;
+        Self::entry_remove_sharer(&mut self.spill, line, e, node);
         self.sync_presence(line);
     }
 
     /// Replace the sharer set wholesale (used by write invalidations).
     pub fn clear_sharers(&mut self, line: LineNum) {
-        if let Some(info) = self.map.get_mut(line.0) {
-            info.sharers.clear();
+        if let Some(e) = self.map.get_mut(line.0) {
+            if e.n == SPILLED {
+                self.spill.remove(line.0);
+            }
+            e.n = 0;
             self.sync_presence(line);
         }
     }
 
     /// Remove a line entirely (page-out).
     pub fn remove(&mut self, line: LineNum) -> Option<LineInfo> {
-        let info = self.map.remove(line.0);
-        if info.is_some() {
-            self.sync_presence(line);
-        }
-        info
+        let e = self.map.remove(line.0)?;
+        let sharers = if e.n == SPILLED {
+            self.spill
+                .remove(line.0)
+                .expect("spilled sharer set missing")
+        } else {
+            let mut s = NodeSet::empty();
+            for &id in &e.inline[..e.n as usize] {
+                s.insert(id);
+            }
+            s
+        };
+        self.sync_presence(line);
+        Some(LineInfo {
+            owner: NodeId(e.owner),
+            sharers,
+        })
     }
 
     /// Number of live lines.
@@ -294,7 +410,9 @@ impl Directory {
 
     /// Iterate all live lines (invariant checking).
     pub fn iter(&self) -> impl Iterator<Item = (LineNum, LineInfo)> + '_ {
-        self.map.iter().map(|(l, i)| (LineNum(l), *i))
+        self.map
+            .iter()
+            .map(move |(l, e)| (LineNum(l), self.info_of(l, *e)))
     }
 }
 

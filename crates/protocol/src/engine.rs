@@ -31,7 +31,7 @@ use crate::outcome::Outcome;
 use crate::table::{OpenTable, PageHomes};
 use coma_cache::{AcceptPolicy, AcceptSlot, AmState, SlcState, Victim, VictimPolicy};
 use coma_stats::{
-    AuditSink, CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic,
+    AuditSink, BatchedSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic,
 };
 use coma_types::{LineNum, MachineGeometry, NodeId, ProcId, LINE_SHIFT, PAGE_SHIFT};
 
@@ -55,9 +55,15 @@ pub struct CoherenceEngine {
     accept_policy: AcceptPolicy,
     intra_node_transfers: bool,
     inclusive_hierarchy: bool,
-    /// Where every protocol event lands: traffic + counters, behind the
-    /// audit decorator that (when armed) counts transactions per access.
-    sink: AuditSink<CounterSink>,
+    /// Precomputed `proc → (node, index-in-node)` so the per-access hot
+    /// path never divides (ProcId::node is a `/`, index_in_node a `%`).
+    proc_map: Box<[(u16, u16)]>,
+    /// Where every protocol event lands: batched traffic + counters,
+    /// behind the audit decorator that (when armed) still sees every
+    /// event unbatched. The driver calls [`Self::flush_stats`] at sync
+    /// points; [`Self::traffic`] / [`Self::counters`] require a flush
+    /// first (debug-asserted inside `BatchedSink::sink`).
+    sink: AuditSink<BatchedSink>,
 }
 
 impl CoherenceEngine {
@@ -91,6 +97,15 @@ impl CoherenceEngine {
         let nodes = (0..geom.n_nodes)
             .map(|_| NodeState::new(&geom, victim_policy))
             .collect();
+        let proc_map = (0..geom.n_procs)
+            .map(|p| {
+                let proc = ProcId(p as u16);
+                (
+                    proc.node(geom.procs_per_node).0,
+                    proc.index_in_node(geom.procs_per_node) as u16,
+                )
+            })
+            .collect();
         CoherenceEngine {
             geom,
             nodes,
@@ -100,7 +115,8 @@ impl CoherenceEngine {
             accept_policy,
             intra_node_transfers,
             inclusive_hierarchy,
-            sink: AuditSink::new(CounterSink::default()),
+            proc_map,
+            sink: AuditSink::new(BatchedSink::new()),
         }
     }
 
@@ -120,6 +136,18 @@ impl CoherenceEngine {
         let out = self.write_inner(proc, line);
         self.audit_after();
         out
+    }
+
+    /// Hint the host CPU to pull the state a `proc` access of `line`
+    /// will probe — private caches, residency filter, AM set, directory
+    /// slot — toward L1. The driver calls this one operation ahead, so
+    /// the (host-cold) probes overlap the current operation's work.
+    /// Purely a performance hint: no simulated state is read or written.
+    #[inline]
+    pub fn prefetch(&self, proc: ProcId, line: LineNum) {
+        let (n, pidx) = self.proc_map[proc.as_usize()];
+        self.nodes[n as usize].prefetch_access(pidx as usize, line);
+        self.dir.prefetch(line);
     }
 
     /// Live invariant audit: runs after every access that emitted a
@@ -150,24 +178,39 @@ impl CoherenceEngine {
         self.sink.record(ev);
     }
 
-    /// Global bus traffic, decomposed as in Figures 3–4.
+    /// Apply all batched event counts to the global totals. The driver
+    /// calls this at sync points and before reading statistics; every
+    /// counter is a plain sum, so flush placement never changes totals.
+    #[inline]
+    pub fn flush_stats(&mut self) {
+        self.sink.inner.flush();
+    }
+
+    /// Forward every event straight to the global counters instead of
+    /// batching (reference mode for the batching differential tests).
+    #[doc(hidden)]
+    pub fn set_direct_stats(&mut self, on: bool) {
+        self.sink.inner.set_direct(on);
+    }
+
+    /// Global bus traffic, decomposed as in Figures 3–4. Requires a
+    /// preceding [`Self::flush_stats`] (debug-asserted).
     #[inline]
     pub fn traffic(&self) -> &Traffic {
-        &self.sink.inner.traffic
+        &self.sink.inner.sink().traffic
     }
 
-    /// Replacement / allocation event counters.
+    /// Replacement / allocation event counters; same flush requirement
+    /// as [`Self::traffic`].
     #[inline]
     pub fn counters(&self) -> &ProtocolCounters {
-        &self.sink.inner.counters
+        &self.sink.inner.sink().counters
     }
 
-    /// Does any private cache in `node_idx` still hold `line`?
+    /// Does any private cache in `node_idx` still hold `line`? Gated on
+    /// the node's residency filter, so the usual no case is one probe.
     fn slc_holds(&self, node_idx: usize, line: LineNum) -> bool {
-        self.nodes[node_idx]
-            .slcs
-            .iter()
-            .any(|s| s.peek(line).is_valid())
+        self.nodes[node_idx].slc_holds(line)
     }
 
     #[inline]
@@ -177,7 +220,13 @@ impl CoherenceEngine {
 
     #[inline]
     fn node_of(&self, proc: ProcId) -> usize {
-        proc.node(self.geom.procs_per_node).as_usize()
+        self.proc_map[proc.as_usize()].0 as usize
+    }
+
+    /// The processor's index within its node (precomputed, no division).
+    #[inline]
+    fn pidx_of(&self, proc: ProcId) -> usize {
+        self.proc_map[proc.as_usize()].1 as usize
     }
 
     /// Access to node state for diagnostics and invariant checks.
@@ -348,6 +397,13 @@ impl CoherenceEngine {
                     ));
                 }
             }
+        }
+        // Each node's SLC residency filter matches its SLC contents
+        // (the filter gates private-cache probes; a stale count could
+        // silently skip a required invalidation or downgrade).
+        for (k, node) in self.nodes.iter().enumerate() {
+            node.filter_consistent()
+                .map_err(|e| format!("node {k}: {e}"))?;
         }
         Ok(())
     }

@@ -8,7 +8,7 @@ impl CoherenceEngine {
     /// [`CoherenceEngine::read`] wraps this with the live auditor).
     pub(super) fn read_inner(&mut self, proc: ProcId, line: LineNum) -> Outcome {
         let n = self.node_of(proc);
-        let pidx = proc.index_in_node(self.geom.procs_per_node);
+        let pidx = self.pidx_of(proc);
 
         if self.nodes[n].flcs[pidx].read_hit(line) {
             return Outcome::at(Level::Flc);
@@ -53,7 +53,7 @@ impl CoherenceEngine {
 
     /// Fill SLC (Shared) + FLC after a read serviced at/under the AM.
     fn fill_private_read(&mut self, n: usize, pidx: usize, line: LineNum, out: &mut Outcome) {
-        if let Some((evicted, st)) = self.nodes[n].slcs[pidx].insert(line, SlcState::Shared) {
+        if let Some((evicted, st)) = self.nodes[n].slc_fill(pidx, line, SlcState::Shared) {
             if st == SlcState::Modified {
                 // Write-back into the AM (data only; AM keeps Exclusive).
                 out.slc_writeback = true;

@@ -11,7 +11,7 @@ impl CoherenceEngine {
     /// [`CoherenceEngine::write`] wraps this with the live auditor.
     pub(super) fn write_inner(&mut self, proc: ProcId, line: LineNum) -> Outcome {
         let n = self.node_of(proc);
-        let pidx = proc.index_in_node(self.geom.procs_per_node);
+        let pidx = self.pidx_of(proc);
 
         if self.nodes[n].flcs[pidx].write_hit(line) {
             return Outcome::at(Level::Flc);
@@ -35,7 +35,7 @@ impl CoherenceEngine {
 
     /// Fill SLC (Modified) + FLC after a write obtained ownership.
     fn fill_private_write(&mut self, n: usize, pidx: usize, line: LineNum, out: &mut Outcome) {
-        if let Some((evicted, st)) = self.nodes[n].slcs[pidx].insert(line, SlcState::Modified) {
+        if let Some((evicted, st)) = self.nodes[n].slc_fill(pidx, line, SlcState::Modified) {
             if st == SlcState::Modified {
                 out.slc_writeback = true;
             }

@@ -21,18 +21,52 @@
 use crate::outcome::Outcome;
 use crate::table::{OpenTable, PageHomes};
 use coma_cache::{Flc, Slc, SlcState};
-use coma_stats::{CounterSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic};
+use coma_stats::{BatchedSink, EventSink, Level, ProtocolCounters, ProtocolEvent, Traffic};
 use coma_types::{LineNum, MachineGeometry, NodeId, NodeSet, ProcId, LINE_SHIFT, PAGE_SHIFT};
 
 const PAGE_LINES_SHIFT: u32 = PAGE_SHIFT - LINE_SHIFT;
 
-/// Sharing state of one line across the private SLCs.
+/// Inline reader capacity of a directory entry (see [`DirEntry`]).
+const INLINE_READERS: usize = 4;
+
+/// `DirEntry::n` marker: the reader set lives in the spill table.
+const SPILLED: u8 = u8::MAX;
+
+/// Sharing state of one line across the private SLCs, stored compactly:
+/// a full `NodeSet` is 32 bytes sized for 256 processors, but the
+/// directory holds one entry per live line and is probed on every SLC
+/// miss, so entry bytes are host-cache reach. Lines with at most
+/// [`INLINE_READERS`] clean copies (the overwhelming majority) keep the
+/// reader processor IDs inline, unordered; wider lines park a `NodeSet`
+/// in the engine's spill table and stay spilled until their readers are
+/// cleared.
 #[derive(Clone, Copy, Debug, Default)]
 struct DirEntry {
+    /// Processor holding the line Modified, stored as `proc + 1`
+    /// (`0` = none) so the all-zero entry is the empty one.
+    writer_p1: u16,
+    /// Count of valid `inline` entries, or [`SPILLED`].
+    n: u8,
     /// Processors with a (clean) SLC copy.
-    readers: NodeSet,
-    /// Processor holding the line Modified, if any.
-    writer: Option<ProcId>,
+    inline: [u16; INLINE_READERS],
+}
+
+impl DirEntry {
+    #[inline]
+    fn writer(&self) -> Option<ProcId> {
+        match self.writer_p1 {
+            0 => None,
+            w => Some(ProcId(w - 1)),
+        }
+    }
+
+    #[inline]
+    fn set_writer(&mut self, w: Option<ProcId>) {
+        self.writer_p1 = match w {
+            None => 0,
+            Some(p) => p.0 + 1,
+        };
+    }
 }
 
 /// Which baseline is modeled.
@@ -53,9 +87,14 @@ pub struct BaselineEngine {
     flcs: Vec<Flc>,
     pages: PageHomes,
     dir: OpenTable<DirEntry>,
-    /// Where every protocol event lands: traffic + counters (the same
-    /// decomposition as the COMA bus).
-    sink: CounterSink,
+    /// Reader sets of lines too wide for inline storage (see [`DirEntry`]).
+    spill: OpenTable<NodeSet>,
+    /// Precomputed `proc → node`, so the miss paths never divide.
+    node_map: Box<[NodeId]>,
+    /// Where every protocol event lands: batched traffic + counters (the
+    /// same decomposition as the COMA bus). Flushed by the driver at
+    /// sync points and before any statistics read.
+    sink: BatchedSink,
 }
 
 impl BaselineEngine {
@@ -69,31 +108,140 @@ impl BaselineEngine {
             flcs: (0..geom.n_procs).map(|_| Flc::new(geom.flc_sets)).collect(),
             pages: PageHomes::new(),
             dir: OpenTable::new(),
-            sink: CounterSink::default(),
+            spill: OpenTable::new(),
+            node_map: (0..geom.n_procs)
+                .map(|p| ProcId(p as u16).node(geom.procs_per_node))
+                .collect(),
+            sink: BatchedSink::new(),
         }
+    }
+
+    /// The processor's node (precomputed, no division).
+    #[inline]
+    fn node_of(&self, proc: ProcId) -> NodeId {
+        self.node_map[proc.as_usize()]
+    }
+
+    /// Materialize an entry's reader set, wherever it is stored.
+    fn entry_readers(spill: &OpenTable<NodeSet>, line: u64, e: &DirEntry) -> NodeSet {
+        if e.n == SPILLED {
+            spill.get(line).expect("spilled reader set missing")
+        } else {
+            let mut s = NodeSet::empty();
+            for &id in &e.inline[..e.n as usize] {
+                s.insert(id);
+            }
+            s
+        }
+    }
+
+    /// Add a reader (idempotent, set semantics), spilling on overflow.
+    fn entry_add_reader(spill: &mut OpenTable<NodeSet>, line: u64, e: &mut DirEntry, p: u16) {
+        if e.n == SPILLED {
+            spill
+                .get_mut(line)
+                .expect("spilled reader set missing")
+                .insert(p);
+            return;
+        }
+        let n = e.n as usize;
+        if e.inline[..n].contains(&p) {
+            return;
+        }
+        if n < INLINE_READERS {
+            e.inline[n] = p;
+            e.n += 1;
+        } else {
+            let mut s = NodeSet::empty();
+            for &id in &e.inline {
+                s.insert(id);
+            }
+            s.insert(p);
+            e.n = SPILLED;
+            spill.insert(line, s);
+        }
+    }
+
+    /// Drop a reader. Inline removal is a swap-remove — order is
+    /// immaterial, the set is materialized through `NodeSet`.
+    fn entry_remove_reader(spill: &mut OpenTable<NodeSet>, line: u64, e: &mut DirEntry, p: u16) {
+        if e.n == SPILLED {
+            spill
+                .get_mut(line)
+                .expect("spilled reader set missing")
+                .remove(p);
+            return;
+        }
+        let n = e.n as usize;
+        if let Some(i) = e.inline[..n].iter().position(|&id| id == p) {
+            e.inline[i] = e.inline[n - 1];
+            e.n -= 1;
+        }
+    }
+
+    /// Materialize and simultaneously clear an entry's reader set.
+    fn entry_take_readers(spill: &mut OpenTable<NodeSet>, line: u64, e: &mut DirEntry) -> NodeSet {
+        let readers = if e.n == SPILLED {
+            spill.remove(line).expect("spilled reader set missing")
+        } else {
+            let mut s = NodeSet::empty();
+            for &id in &e.inline[..e.n as usize] {
+                s.insert(id);
+            }
+            s
+        };
+        e.n = 0;
+        readers
+    }
+
+    /// Pull the structures a `proc` access of `line` will probe — its FLC
+    /// slot, its SLC set and the directory slot — toward the host L1.
+    /// Performance hint only; no simulated state changes.
+    #[inline]
+    pub fn prefetch(&self, proc: ProcId, line: LineNum) {
+        let p = proc.as_usize();
+        self.flcs[p].prefetch(line);
+        self.slcs[p].prefetch(line);
+        self.dir.prefetch(line.0);
     }
 
     pub fn geometry(&self) -> &MachineGeometry {
         &self.geom
     }
 
-    /// Interconnect traffic, decomposed as on the COMA bus.
+    /// Apply all batched event counts to the global totals; required
+    /// before reading [`Self::traffic`] / [`Self::counters`].
+    #[inline]
+    pub fn flush_stats(&mut self) {
+        self.sink.flush();
+    }
+
+    /// Forward every event straight to the global counters instead of
+    /// batching (reference mode for the batching differential tests).
+    #[doc(hidden)]
+    pub fn set_direct_stats(&mut self, on: bool) {
+        self.sink.set_direct(on);
+    }
+
+    /// Interconnect traffic, decomposed as on the COMA bus. Requires a
+    /// preceding [`Self::flush_stats`] (debug-asserted).
     #[inline]
     pub fn traffic(&self) -> &Traffic {
-        &self.sink.traffic
+        &self.sink.sink().traffic
     }
 
     /// Protocol event counters (only `remote_writebacks` is ever nonzero
-    /// for the baselines).
+    /// for the baselines); same flush requirement as [`Self::traffic`].
     #[inline]
     pub fn counters(&self) -> &ProtocolCounters {
-        &self.sink.counters
+        &self.sink.sink().counters
     }
 
     /// Dirty write-backs to a remote home (NUMA's replacement analogue).
     #[inline]
-    pub fn remote_writebacks(&self) -> u64 {
-        self.sink.counters.remote_writebacks
+    pub fn remote_writebacks(&mut self) -> u64 {
+        self.sink.flush();
+        self.sink.sink().counters.remote_writebacks
     }
 
     /// Home node of a line (first touch allocates the page).
@@ -124,14 +272,14 @@ impl BaselineEngine {
             // Remove from the directory.
             let me = ProcId(p as u16);
             if let Some(e) = self.dir.get_mut(victim.0) {
-                e.readers.remove(p as u16);
-                if e.writer == Some(me) {
-                    e.writer = None;
+                Self::entry_remove_reader(&mut self.spill, victim.0, e, p as u16);
+                if e.writer() == Some(me) {
+                    e.set_writer(None);
                 }
             }
             if st == SlcState::Modified {
                 // Dirty write-back to the home.
-                let node = me.node(self.geom.procs_per_node);
+                let node = self.node_of(me);
                 let home = self.home_of(victim, node);
                 if self.supply_level(home, node) == Level::Remote {
                     self.sink.record(ProtocolEvent::RemoteWriteback);
@@ -147,10 +295,9 @@ impl BaselineEngine {
             return false;
         };
         let mut had_any = false;
-        let readers = e.readers;
-        let writer = e.writer;
-        e.readers.clear();
-        e.writer = None;
+        let readers = Self::entry_take_readers(&mut self.spill, line.0, e);
+        let writer = e.writer();
+        e.set_writer(None);
         for p in readers.iter() {
             if p != keep.0 {
                 self.slcs[p as usize].invalidate(line);
@@ -180,18 +327,18 @@ impl BaselineEngine {
             return Outcome::at(Level::Slc);
         }
 
-        let me = proc.node(self.geom.procs_per_node);
+        let me = self.node_of(proc);
         let home = self.home_of(line, me);
         // If some processor holds it dirty, it is written back through the
         // home first (we charge one remote transfer when the home is far).
         let entry = self.dir.get_or_insert(line.0, DirEntry::default());
-        let writer = entry.writer;
+        let writer = entry.writer();
         if let Some(w) = writer {
             self.slcs[w.as_usize()].downgrade(line);
             self.flcs[w.as_usize()].downgrade(line);
             let e = self.dir.get_mut(line.0).expect("entry exists");
-            e.writer = None;
-            e.readers.insert(w.0);
+            e.set_writer(None);
+            Self::entry_add_reader(&mut self.spill, line.0, e, w.0);
         }
 
         let level = self.supply_level(home, me);
@@ -201,7 +348,7 @@ impl BaselineEngine {
             self.sink.record(ProtocolEvent::ReadFill);
         }
         let e = self.dir.get_mut(line.0).expect("entry exists");
-        e.readers.insert(proc.0);
+        Self::entry_add_reader(&mut self.spill, line.0, e, proc.0);
         self.fill_slc(p, line, SlcState::Shared, &mut out);
         self.flcs[p].fill(line, false);
         out
@@ -218,7 +365,7 @@ impl BaselineEngine {
             return Outcome::at(Level::Slc);
         }
 
-        let me = proc.node(self.geom.procs_per_node);
+        let me = self.node_of(proc);
         let home = self.home_of(line, me);
         let had_copy = self.slcs[p].peek(line) == SlcState::Shared;
         self.dir.get_or_insert(line.0, DirEntry::default());
@@ -241,8 +388,8 @@ impl BaselineEngine {
             out.upgrade = true;
         }
         let e = self.dir.get_mut(line.0).expect("entry exists");
-        e.writer = Some(proc);
-        e.readers.clear();
+        e.set_writer(Some(proc));
+        Self::entry_take_readers(&mut self.spill, line.0, e);
         self.fill_slc(p, line, SlcState::Modified, &mut out);
         self.flcs[p].fill(line, true);
         out
@@ -252,17 +399,18 @@ impl BaselineEngine {
     pub fn check_invariants(&self) -> Result<(), String> {
         for (l, e) in self.dir.iter() {
             let line = LineNum(l);
-            if let Some(w) = e.writer {
+            let readers = Self::entry_readers(&self.spill, l, e);
+            if let Some(w) = e.writer() {
                 if self.slcs[w.as_usize()].peek(line) != SlcState::Modified {
                     return Err(format!("{line:?}: writer {w} not Modified"));
                 }
-                let mut others = e.readers;
+                let mut others = readers;
                 others.remove(w.0);
                 if !others.is_empty() {
                     return Err(format!("{line:?}: writer plus readers"));
                 }
             }
-            for p in e.readers.iter() {
+            for p in readers.iter() {
                 if !self.slcs[p as usize].peek(line).is_valid() {
                     return Err(format!("{line:?}: reader P{p} has no copy"));
                 }
@@ -277,12 +425,15 @@ impl BaselineEngine {
                     .ok_or_else(|| format!("{line:?}: cached by P{p} but not in dir"))?;
                 match st {
                     SlcState::Modified => {
-                        if e.writer != Some(ProcId(p as u16)) {
-                            return Err(format!("{line:?}: P{p} M but dir writer {:?}", e.writer));
+                        if e.writer() != Some(ProcId(p as u16)) {
+                            return Err(format!(
+                                "{line:?}: P{p} M but dir writer {:?}",
+                                e.writer()
+                            ));
                         }
                     }
                     SlcState::Shared => {
-                        if !e.readers.contains(p as u16) {
+                        if !Self::entry_readers(&self.spill, line.0, &e).contains(p as u16) {
                             return Err(format!("{line:?}: P{p} S but not a dir reader"));
                         }
                     }
@@ -326,6 +477,7 @@ mod tests {
         let out = e.read(ProcId(2), LineNum(5));
         assert_eq!(out.level, Level::Remote);
         assert_eq!(out.remote_node, Some(NodeId(0)));
+        e.flush_stats();
         assert_eq!(e.traffic().read_txns, 1);
         e.check_invariants().unwrap();
     }
@@ -401,6 +553,7 @@ mod tests {
                 }
             }
             e.check_invariants().unwrap();
+            e.flush_stats();
             *e.traffic()
         };
         assert_eq!(run(BaselineKind::Numa), run(BaselineKind::Numa));

@@ -18,9 +18,15 @@
 
 use coma_types::NodeId;
 
-/// Sentinel key marking an empty slot. Real keys are line or page numbers
-/// bounded by the applications' working sets, far below `u64::MAX`.
-const EMPTY: u64 = u64::MAX;
+/// Sentinel stored key marking an empty slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Largest insertable key. Keys are stored narrowed to `u32`: real keys
+/// are line or page numbers bounded by the applications' working sets,
+/// far below `u32::MAX`, and the narrow key shrinks every slot — the
+/// line directory is DRAM-resident at working-set scale, so slot bytes
+/// translate directly into host cache and TLB reach.
+const MAX_KEY: u64 = (u32::MAX - 1) as u64;
 
 /// Knuth's multiplicative constant (2^64 / φ).
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -31,8 +37,21 @@ const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 /// which the line directory always is).
 #[derive(Clone, Copy, Debug)]
 struct TableSlot<V> {
-    key: u64,
+    key: u32,
     val: V,
+}
+
+/// Stored key a probe compares against. Keys beyond [`MAX_KEY`] cannot be
+/// present (insertion rejects them), so their probes must simply miss —
+/// map them to the unmatchable sentinel instead of letting the narrowing
+/// conversion alias a small resident key.
+#[inline]
+fn probe_key(key: u64) -> u32 {
+    if key <= MAX_KEY {
+        key as u32
+    } else {
+        EMPTY
+    }
 }
 
 /// An open-addressing hash table from `u64` keys to copyable values.
@@ -91,10 +110,14 @@ impl<V: Copy + Default> OpenTable<V> {
     /// Slot holding `key`, if present.
     #[inline]
     fn find(&self, key: u64) -> Option<usize> {
+        let needle = probe_key(key);
+        if needle == EMPTY {
+            return None; // out-of-range key: cannot be resident
+        }
         let mut i = self.slot_of(key);
         loop {
             let k = self.slots[i].key;
-            if k == key {
+            if k == needle {
                 return Some(i);
             }
             if k == EMPTY {
@@ -109,6 +132,14 @@ impl<V: Copy + Default> OpenTable<V> {
         self.find(key).is_some()
     }
 
+    /// Pull `key`'s home slot toward the host L1 ahead of a probe
+    /// (performance hint only; the linear-probe tail is contiguous and
+    /// rides the hardware prefetcher).
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        coma_types::prefetch_read(&self.slots[self.slot_of(key)]);
+    }
+
     #[inline]
     pub fn get(&self, key: u64) -> Option<V> {
         self.find(key).map(|i| self.slots[i].val)
@@ -121,16 +152,17 @@ impl<V: Copy + Default> OpenTable<V> {
 
     /// Insert or overwrite; returns the previous value if any.
     pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
-        debug_assert_ne!(key, EMPTY, "sentinel key");
+        assert!(key <= MAX_KEY, "key exceeds u32 storage range");
+        let needle = key as u32;
         self.reserve_one();
         let mut i = self.slot_of(key);
         loop {
             let k = self.slots[i].key;
-            if k == key {
+            if k == needle {
                 return Some(std::mem::replace(&mut self.slots[i].val, val));
             }
             if k == EMPTY {
-                self.slots[i] = TableSlot { key, val };
+                self.slots[i] = TableSlot { key: needle, val };
                 self.len += 1;
                 return None;
             }
@@ -140,16 +172,20 @@ impl<V: Copy + Default> OpenTable<V> {
 
     /// Value for `key`, inserting `default` first if absent.
     pub fn get_or_insert(&mut self, key: u64, default: V) -> &mut V {
-        debug_assert_ne!(key, EMPTY, "sentinel key");
+        assert!(key <= MAX_KEY, "key exceeds u32 storage range");
+        let needle = key as u32;
         self.reserve_one();
         let mut i = self.slot_of(key);
         loop {
             let k = self.slots[i].key;
-            if k == key {
+            if k == needle {
                 return &mut self.slots[i].val;
             }
             if k == EMPTY {
-                self.slots[i] = TableSlot { key, val: default };
+                self.slots[i] = TableSlot {
+                    key: needle,
+                    val: default,
+                };
                 self.len += 1;
                 return &mut self.slots[i].val;
             }
@@ -172,7 +208,7 @@ impl<V: Copy + Default> OpenTable<V> {
             // `slots[j]` may back-fill the hole at `i` only if its home
             // slot does not lie cyclically within (i, j] — otherwise the
             // move would break its own probe chain.
-            let home = self.slot_of(self.slots[j].key);
+            let home = self.slot_of(self.slots[j].key as u64);
             if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
                 self.slots[i] = self.slots[j];
                 i = j;
@@ -188,7 +224,7 @@ impl<V: Copy + Default> OpenTable<V> {
         self.slots
             .iter()
             .filter(|s| s.key != EMPTY)
-            .map(|s| (s.key, &s.val))
+            .map(|s| (s.key as u64, &s.val))
     }
 
     /// Grow (×2) when the next insert would push load past 1/2. Linear
@@ -207,7 +243,7 @@ impl<V: Copy + Default> OpenTable<V> {
         let mut bigger = Self::with_capacity_pow2((self.mask + 1) * 2);
         for slot in &self.slots {
             if slot.key != EMPTY {
-                let mut i = bigger.slot_of(slot.key);
+                let mut i = bigger.slot_of(slot.key as u64);
                 while bigger.slots[i].key != EMPTY {
                     i = (i + 1) & bigger.mask;
                 }
@@ -328,6 +364,23 @@ mod tests {
         let mut got: Vec<u64> = t.iter().map(|(k, _)| k).collect();
         got.sort_unstable();
         assert_eq!(got, vec![2, 11]);
+    }
+
+    #[test]
+    fn out_of_range_key_probes_miss_without_aliasing() {
+        let mut t: OpenTable<u8> = OpenTable::new();
+        t.insert(7, 1);
+        // (2^32 + 7) narrows to 7 — the guard must keep it a miss.
+        assert_eq!(t.get((1u64 << 32) + 7), None);
+        assert!(!t.contains((1u64 << 32) + 7));
+        assert_eq!(t.remove(u64::MAX), None);
+        assert_eq!(t.get(7), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 storage range")]
+    fn oversized_key_insert_panics() {
+        OpenTable::<u8>::new().insert(u64::MAX - 1, 1);
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! The simulation driver: event-driven execution of one workload on one
 //! machine configuration, producing a [`SimReport`].
+//!
+//! The per-event path is deliberately interpreter-free: each workload's
+//! reference stream is compiled ahead of the run into a flat
+//! [`OpArena`] (one fixed-width record per memory/sync operation, with
+//! the preceding compute gap packed inline — see `coma-workloads`), so
+//! the hot loop reads an array instead of re-running generator logic,
+//! and pure compute gaps fuse with the operation they precede whenever
+//! the processor would step straight through anyway (DESIGN.md §13).
 
 use crate::resources::MachineResources;
 use crate::sync::{BarrierState, LockState};
 use coma_cache::{AcceptPolicy, VictimPolicy};
 use coma_protocol::{BaselineEngine, BaselineKind, CoherenceEngine, MemorySystem};
 use coma_stats::{AccessCounts, ExecBreakdown, Level, SimReport};
-use coma_timing::{EventQueue, HierarchicalFabric, IdealInterconnect, Interconnect, WriteBuffer};
-use coma_types::{
-    time::instr_time, Addr, ConfigError, LatencyConfig, MachineConfig, MachineGeometry, Nanos,
-    ProcId,
+use coma_timing::{
+    EventQueue, HierarchicalFabric, IdealInterconnect, Interconnect, WriteBufferArray,
 };
-use coma_workloads::{Op, OpStream, Workload};
+use coma_types::{Addr, ConfigError, LatencyConfig, MachineConfig, MachineGeometry, Nanos, ProcId};
+use coma_workloads::{FlatKind, OpArena, Workload};
 
 /// Which memory architecture the machine implements.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -95,6 +102,14 @@ impl MemorySystem for Engine {
         }
     }
 
+    fn flush_stats(&mut self) {
+        match self {
+            Engine::Coma(e) => e.flush_stats(),
+            Engine::Baseline(e) => e.flush_stats(),
+            Engine::Custom(m) => m.flush_stats(),
+        }
+    }
+
     fn traffic(&self) -> &coma_stats::Traffic {
         match self {
             Engine::Coma(e) => e.traffic(),
@@ -136,45 +151,6 @@ impl MemorySystem for Engine {
     }
 }
 
-/// How many operations are pulled from a stream per (virtual) refill
-/// call. One iteration's ops arrive in a burst, so a modest chunk makes
-/// the per-op cost of the hot loop a plain array read.
-const OP_CHUNK: usize = 64;
-
-/// A buffered reader over one processor's [`OpStream`]: the driver steps
-/// through a resident chunk and pays the dynamic dispatch (plus whatever
-/// generation work the stream does) once per [`OP_CHUNK`] ops.
-struct OpCursor {
-    buf: Vec<Op>,
-    head: usize,
-}
-
-impl OpCursor {
-    fn new() -> Self {
-        OpCursor {
-            buf: Vec::with_capacity(OP_CHUNK),
-            head: 0,
-        }
-    }
-
-    #[inline]
-    fn next(&mut self, stream: &mut dyn OpStream) -> Option<Op> {
-        if let Some(&op) = self.buf.get(self.head) {
-            self.head += 1;
-            return Some(op);
-        }
-        self.buf.clear();
-        self.head = 0;
-        while self.buf.len() < OP_CHUNK {
-            match stream.next_op() {
-                Some(op) => self.buf.push(op),
-                None => break,
-            }
-        }
-        self.buf.first().copied().inspect(|_| self.head = 1)
-    }
-}
-
 /// Everything that parameterizes one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimParams {
@@ -205,15 +181,76 @@ impl Default for SimParams {
     }
 }
 
+/// The §4.3 execution-time breakdown as parallel per-processor arrays
+/// (structure-of-arrays): every event updates exactly one counter, so
+/// the hot loop indexes one contiguous `Box<[Nanos]>` instead of
+/// striding across five-field records.
+struct BreakdownSoA {
+    busy_ns: Box<[Nanos]>,
+    slc_ns: Box<[Nanos]>,
+    am_ns: Box<[Nanos]>,
+    remote_ns: Box<[Nanos]>,
+    sync_ns: Box<[Nanos]>,
+}
+
+impl BreakdownSoA {
+    fn new(n_procs: usize) -> Self {
+        let zeroed = || vec![0; n_procs].into_boxed_slice();
+        BreakdownSoA {
+            busy_ns: zeroed(),
+            slc_ns: zeroed(),
+            am_ns: zeroed(),
+            remote_ns: zeroed(),
+            sync_ns: zeroed(),
+        }
+    }
+
+    /// Charge a memory access's stall to the level that supplied it.
+    #[inline]
+    fn bucket(&mut self, p: usize, level: Level, ns: Nanos) {
+        match level {
+            Level::Flc => self.busy_ns[p] += ns,
+            Level::Slc => self.slc_ns[p] += ns,
+            Level::PeerSlc | Level::Am => self.am_ns[p] += ns,
+            Level::Remote => self.remote_ns[p] += ns,
+        }
+    }
+
+    /// Reassemble the report's per-processor records.
+    fn into_breakdowns(self) -> Vec<ExecBreakdown> {
+        (0..self.busy_ns.len())
+            .map(|p| ExecBreakdown {
+                busy_ns: self.busy_ns[p],
+                slc_ns: self.slc_ns[p],
+                am_ns: self.am_ns[p],
+                remote_ns: self.remote_ns[p],
+                sync_ns: self.sync_ns[p],
+            })
+            .collect()
+    }
+}
+
 /// A fully assembled machine + workload, ready to run.
 pub struct Simulation {
     mem: Engine,
     res: MachineResources,
     lat: LatencyConfig,
-    streams: Vec<Box<dyn OpStream>>,
-    cursors: Vec<OpCursor>,
-    wbs: Vec<WriteBuffer>,
-    breakdown: Vec<ExecBreakdown>,
+    /// Every processor's reference stream, precompiled to flat records.
+    ops: OpArena,
+    /// Next record index per processor (SoA against `ops`).
+    pos: Box<[u32]>,
+    /// One-past-last record index per processor.
+    end: Box<[u32]>,
+    /// Set when a record's inline gap has been consumed but its
+    /// operation not yet executed (the processor parked in between).
+    gap_done: Box<[bool]>,
+    /// Fold a record's compute gap and its operation into one step when
+    /// the processor would step straight through anyway. Always on in
+    /// real runs; the differential tests switch it off to replay the
+    /// one-event-per-gap reference schedule.
+    fuse_gaps: bool,
+    wbs: WriteBufferArray,
+    breakdown: BreakdownSoA,
     counts: AccessCounts,
     read_latency: coma_stats::LatencyHisto,
     queue: EventQueue,
@@ -222,7 +259,8 @@ pub struct Simulation {
     lock_addrs: Vec<Addr>,
     barrier_counter: Addr,
     barrier_flag: Addr,
-    finish: Vec<Option<Nanos>>,
+    /// Completion time per processor; valid once the processor finished.
+    finish: Box<[Nanos]>,
     n_done: usize,
     n_procs: usize,
 }
@@ -277,38 +315,45 @@ impl Simulation {
         let lock_addrs = (0..workload.n_locks)
             .map(|i| workload.lock_addr(i))
             .collect();
+        let barrier_counter = workload.barrier_counter_addr();
+        let barrier_flag = workload.barrier_flag_addr();
+        // Pay all generator dispatch once, up front: the run itself only
+        // ever reads the arena.
+        let ops = OpArena::compile(workload.streams);
+        let pos = (0..n_procs).map(|p| ops.span(p).0).collect();
+        let end = (0..n_procs).map(|p| ops.span(p).1).collect();
         Simulation {
             mem,
             res,
             lat: params.latency.clone(),
-            wbs: (0..n_procs)
-                .map(|_| WriteBuffer::new(params.machine.write_buffer_entries))
-                .collect(),
-            breakdown: vec![ExecBreakdown::default(); n_procs],
+            ops,
+            pos,
+            end,
+            gap_done: vec![false; n_procs].into_boxed_slice(),
+            fuse_gaps: true,
+            wbs: WriteBufferArray::new(n_procs, params.machine.write_buffer_entries),
+            breakdown: BreakdownSoA::new(n_procs),
             counts: AccessCounts::default(),
             read_latency: coma_stats::LatencyHisto::new(),
             queue,
             locks: vec![LockState::default(); workload.n_locks as usize],
             barrier: BarrierState::new(n_procs),
             lock_addrs,
-            barrier_counter: workload.barrier_counter_addr(),
-            barrier_flag: workload.barrier_flag_addr(),
-            cursors: (0..n_procs).map(|_| OpCursor::new()).collect(),
-            streams: workload.streams,
-            finish: vec![None; n_procs],
+            barrier_counter,
+            barrier_flag,
+            finish: vec![0; n_procs].into_boxed_slice(),
             n_done: 0,
             n_procs,
         }
     }
 
-    fn bucket(&mut self, p: usize, level: Level, ns: Nanos) {
-        let b = &mut self.breakdown[p];
-        match level {
-            Level::Flc => b.busy_ns += ns,
-            Level::Slc => b.slc_ns += ns,
-            Level::PeerSlc | Level::Am => b.am_ns += ns,
-            Level::Remote => b.remote_ns += ns,
-        }
+    /// Disable the fused compute-gap fast path, restoring the reference
+    /// schedule in which every gap is its own event. Identical results
+    /// either way (pinned by the `gap_fusion` differential tests); only
+    /// the number of driver iterations differs.
+    #[doc(hidden)]
+    pub fn set_fuse_gaps(&mut self, on: bool) {
+        self.fuse_gaps = on;
     }
 
     /// Timed protocol read with stall accounting.
@@ -317,7 +362,7 @@ impl Simulation {
         let done = self.res.time_access(t, p, &out, &self.lat);
         self.counts.record_read(out.level);
         self.read_latency.record(done - t);
-        self.bucket(p.as_usize(), out.level, done - t);
+        self.breakdown.bucket(p.as_usize(), out.level, done - t);
         done
     }
 
@@ -326,7 +371,7 @@ impl Simulation {
         let out = self.mem.write(p, addr.line());
         let done = self.res.time_access(t, p, &out, &self.lat);
         self.counts.record_write(out.level);
-        self.bucket(p.as_usize(), out.level, done - t);
+        self.breakdown.bucket(p.as_usize(), out.level, done - t);
         done
     }
 
@@ -342,7 +387,7 @@ impl Simulation {
         let released = self.barrier.release();
         for (q, parked) in released {
             let start = now.max(parked);
-            self.breakdown[q.as_usize()].sync_ns += start - parked;
+            self.breakdown.sync_ns[q.as_usize()] += start - parked;
             let done = self.do_read(q, self.barrier_flag, start);
             self.queue.push(done, q);
         }
@@ -350,10 +395,12 @@ impl Simulation {
 
     /// A processor's stream ended at time `t`.
     fn finish_proc(&mut self, p: ProcId, t: Nanos) {
-        let drained = self.wbs[p.as_usize()].drain(t);
-        self.breakdown[p.as_usize()].sync_ns += drained - t;
-        self.finish[p.as_usize()] = Some(drained);
+        let pi = p.as_usize();
+        let drained = self.wbs.drain(pi, t);
+        self.breakdown.sync_ns[pi] += drained - t;
+        self.finish[pi] = drained;
         self.n_done += 1;
+        self.mem.flush_stats();
         // If the remaining processors are all waiting at a barrier this
         // processor will never reach, complete it for them.
         if self.barrier.retire_participant() {
@@ -361,70 +408,103 @@ impl Simulation {
         }
     }
 
-    /// Execute one operation of processor `p` popped at time `t`.
+    /// Execute one compiled record of processor `p` popped at time `t`.
     ///
     /// Returns the time at which `p` itself resumes, or `None` if it
     /// parked (lock, barrier) or finished. Wake-ups for *other*
     /// processors are pushed directly; `p`'s own continuation is the
     /// caller's to schedule, so the run loop can keep stepping `p`
     /// without queue traffic while it remains the earliest wake-up.
+    ///
+    /// A record's inline compute gap fuses with its operation: the gap
+    /// advances time locally, and when `(t + gap, p)` still precedes
+    /// every pending wake-up the operation executes in the same call —
+    /// the gap never becomes a queue event. When the processor would
+    /// *not* step straight through, the gap is consumed (`gap_done`) and
+    /// the operation waits for the next pop, which is exactly the
+    /// schedule the unfused path produces; either way the sequence of
+    /// side-effecting events is identical, because a pure gap touches
+    /// nothing but this processor's clock and busy counter.
     fn step(&mut self, p: ProcId, t: Nanos) -> Option<Nanos> {
         let pi = p.as_usize();
-        let op = match self.cursors[pi].next(&mut *self.streams[pi]) {
-            Some(op) => op,
-            None => {
-                self.finish_proc(p, t);
-                return None;
+        let pos = self.pos[pi];
+        if pos == self.end[pi] {
+            self.finish_proc(p, t);
+            return None;
+        }
+        let rec = self.ops.get(pos);
+        let kind = rec.kind();
+        if kind == FlatKind::Gap {
+            // A gap too long to pack inline: one pure time advance.
+            self.breakdown.busy_ns[pi] += rec.payload();
+            self.pos[pi] = pos + 1;
+            return Some(t + rec.payload());
+        }
+        let mut now = t;
+        let gap = rec.gap_ns();
+        if gap > 0 && !self.gap_done[pi] {
+            self.breakdown.busy_ns[pi] += gap;
+            let resumed = now + gap;
+            if self.fuse_gaps && self.queue.precedes(resumed, p) {
+                // Fast path: the processor is still the machine-wide
+                // earliest at `resumed`, so run the operation now.
+                now = resumed;
+            } else {
+                self.gap_done[pi] = true;
+                return Some(resumed);
             }
-        };
-        match op {
-            Op::Compute(n) => {
-                let dt = instr_time(n as u64);
-                self.breakdown[pi].busy_ns += dt;
-                Some(t + dt)
-            }
-            Op::Read(a) => {
+        }
+        self.gap_done[pi] = false;
+        self.pos[pi] = pos + 1;
+        match kind {
+            FlatKind::Read => {
                 // One issue slot for the load instruction itself.
-                self.breakdown[pi].busy_ns += 1;
-                Some(self.do_read(p, a, t + 1))
+                self.breakdown.busy_ns[pi] += 1;
+                Some(self.do_read(p, rec.addr(), now + 1))
             }
-            Op::Write(a) => {
-                self.breakdown[pi].busy_ns += 1;
-                let issue = t + 1;
-                let out = self.mem.write(p, a.line());
+            FlatKind::Write => {
+                self.breakdown.busy_ns[pi] += 1;
+                let issue = now + 1;
+                let out = self.mem.write(p, rec.addr().line());
                 let completes = self.res.time_access(issue, p, &out, &self.lat);
                 self.counts.record_write(out.level);
                 // Release consistency: the processor stalls only if the
                 // write buffer is full.
-                let resume = self.wbs[pi].push(issue, completes);
-                self.bucket(pi, out.level, resume - issue);
+                let resume = self.wbs.push(pi, issue, completes);
+                self.breakdown.bucket(pi, out.level, resume - issue);
                 Some(resume)
             }
-            Op::Lock(id) => {
-                if self.locks[id as usize].try_acquire(p) {
-                    Some(self.rmw(p, self.lock_addrs[id as usize], t))
+            FlatKind::Lock => {
+                let id = rec.id() as usize;
+                self.mem.flush_stats();
+                if self.locks[id].try_acquire(p) {
+                    Some(self.rmw(p, self.lock_addrs[id], now))
                 } else {
-                    self.locks[id as usize].park(p, t);
+                    self.locks[id].park(p, now);
                     None
                 }
             }
-            Op::Unlock(id) => {
+            FlatKind::Unlock => {
+                let id = rec.id() as usize;
+                self.mem.flush_stats();
                 // Release consistency: drain the write buffer first.
-                let drained = self.wbs[pi].drain(t);
-                self.breakdown[pi].sync_ns += drained - t;
-                let done = self.do_write(p, self.lock_addrs[id as usize], drained);
-                if let Some((next, parked)) = self.locks[id as usize].release(p) {
+                let drained = self.wbs.drain(pi, now);
+                self.breakdown.sync_ns[pi] += drained - now;
+                let done = self.do_write(p, self.lock_addrs[id], drained);
+                if let Some((next, parked)) = self.locks[id].release(p) {
                     let start = done.max(parked);
-                    self.breakdown[next.as_usize()].sync_ns += start - parked;
+                    self.breakdown.sync_ns[next.as_usize()] += start - parked;
                     // The new holder re-acquires the (invalidated) lock line.
-                    let acquired = self.rmw(next, self.lock_addrs[id as usize], start);
+                    let acquired = self.rmw(next, self.lock_addrs[id], start);
                     self.queue.push(acquired, next);
                 }
                 Some(done)
             }
-            Op::Barrier(id) => {
-                let drained = self.wbs[pi].drain(t);
-                self.breakdown[pi].sync_ns += drained - t;
+            FlatKind::Barrier => {
+                let id = rec.id();
+                self.mem.flush_stats();
+                let drained = self.wbs.drain(pi, now);
+                self.breakdown.sync_ns[pi] += drained - now;
                 let counted = self.rmw(p, self.barrier_counter, drained);
                 if self.barrier.arrive(id) {
                     // Last arrival: write the release flag (invalidating
@@ -437,6 +517,7 @@ impl Simulation {
                     None
                 }
             }
+            FlatKind::Gap => unreachable!("handled above"),
         }
     }
 
@@ -472,20 +553,21 @@ impl Simulation {
         }
     }
 
-    fn into_report(self) -> SimReport {
+    fn into_report(mut self) -> SimReport {
         assert_eq!(
             self.n_done, self.n_procs,
             "deadlock: {} of {} processors finished (parked at locks/barrier)",
             self.n_done, self.n_procs
         );
-        let exec_time_ns = self.finish.iter().map(|f| f.unwrap()).max().unwrap_or(0);
+        let exec_time_ns = self.finish.iter().copied().max().unwrap_or(0);
+        self.mem.flush_stats();
         let traffic = *self.mem.traffic();
         let counters = *self.mem.counters();
         SimReport {
             exec_time_ns,
             counts: self.counts,
             traffic,
-            per_proc: self.breakdown,
+            per_proc: self.breakdown.into_breakdowns(),
             injections: counters.injections,
             ownership_migrations: counters.ownership_migrations,
             shared_drops: counters.shared_drops,
@@ -636,77 +718,16 @@ mod tests {
         .is_err());
     }
 
-    /// A stream of `limit` distinguishable ops that counts how many
-    /// times the cursor called back into it (including the `None` pulls).
-    struct CountingStream {
-        emitted: u32,
-        limit: u32,
-        pulls: usize,
-    }
-
-    impl coma_workloads::OpStream for CountingStream {
-        fn next_op(&mut self) -> Option<coma_workloads::Op> {
-            self.pulls += 1;
-            if self.emitted == self.limit {
-                return None;
-            }
-            self.emitted += 1;
-            Some(coma_workloads::Op::Compute(self.emitted - 1))
-        }
-    }
-
-    /// Drain a `limit`-op stream through an [`OpCursor`]; returns the
-    /// number of ops delivered (order-checked) and the pulls consumed.
-    fn drain_through_cursor(limit: u32) -> (u32, usize) {
-        let mut stream = CountingStream {
-            emitted: 0,
-            limit,
-            pulls: 0,
+    #[test]
+    fn unfused_reference_schedule_matches_fused() {
+        // The in-crate smoke version of the full differential suite in
+        // tests/gap_fusion.rs: one app, whole report must be identical.
+        let run = |fuse| {
+            let wl = AppId::Radiosity.build(16, 3, Scale::SMOKE);
+            let mut sim = Simulation::new(wl, &params(2, MemoryPressure::MP_75)).unwrap();
+            sim.set_fuse_gaps(fuse);
+            sim.run()
         };
-        let mut cursor = OpCursor::new();
-        let mut delivered = 0u32;
-        while let Some(op) = cursor.next(&mut stream) {
-            assert_eq!(op, coma_workloads::Op::Compute(delivered), "op reordered");
-            delivered += 1;
-        }
-        // Exhaustion is sticky: further calls keep returning None.
-        assert_eq!(cursor.next(&mut stream), None);
-        (delivered, stream.pulls)
-    }
-
-    #[test]
-    fn op_cursor_chunk_boundaries() {
-        // Stream lengths ≡ 0, 1 and 63 (mod OP_CHUNK), straddling zero,
-        // one and two refills — every off-by-one the buffering could have.
-        let chunk = OP_CHUNK as u32;
-        for limit in [
-            0,
-            1,
-            chunk - 1,
-            chunk,
-            chunk + 1,
-            2 * chunk - 1,
-            2 * chunk,
-            2 * chunk + 1,
-        ] {
-            let (delivered, _) = drain_through_cursor(limit);
-            assert_eq!(delivered, limit, "lost or duplicated ops at len {limit}");
-        }
-    }
-
-    #[test]
-    fn op_cursor_amortizes_stream_pulls() {
-        // A full chunk is fetched with chunk pulls; the end of the stream
-        // costs one extra `None` per refill attempt (incl. the final
-        // probe after exhaustion — see `drain_through_cursor`).
-        let chunk = OP_CHUNK as u32;
-        // len 2·chunk: two full refills + 2 empty probes.
-        assert_eq!(drain_through_cursor(2 * chunk).1, 2 * OP_CHUNK + 2);
-        // len chunk−1: one short refill sees the None, +2 empty probes.
-        assert_eq!(drain_through_cursor(chunk - 1).1, OP_CHUNK + 2);
-        // len chunk+1: full refill, short refill (op + None), +2 probes.
-        assert_eq!(drain_through_cursor(chunk + 1).1, OP_CHUNK + 4);
-        // Empty stream: each call is exactly one wasted pull.
-        assert_eq!(drain_through_cursor(0).1, 2);
+        assert_eq!(run(true), run(false));
     }
 }

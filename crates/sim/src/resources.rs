@@ -28,6 +28,8 @@ pub struct MachineResources {
     pub slc: Vec<Resource>,
     procs_per_node: usize,
     nodes_per_group: usize,
+    /// Precomputed `proc → node`, so the per-access walk never divides.
+    node_of: Box<[u16]>,
 }
 
 impl MachineResources {
@@ -52,6 +54,9 @@ impl MachineResources {
             slc: (0..geom.n_procs).map(|_| Resource::new()).collect(),
             procs_per_node: geom.procs_per_node,
             nodes_per_group: geom.nodes_per_group(),
+            node_of: (0..geom.n_procs)
+                .map(|p| ProcId(p as u16).node(geom.procs_per_node).0)
+                .collect(),
         }
     }
 
@@ -72,8 +77,8 @@ impl MachineResources {
         out: &Outcome,
         lat: &LatencyConfig,
     ) -> Nanos {
-        let n = proc.node(self.procs_per_node).as_usize();
         let p = proc.as_usize();
+        let n = self.node_of[p] as usize;
 
         // A node-controller pass costs `ctrl_ns` of latency; the lookup
         // and return passes of one access are queued as a single

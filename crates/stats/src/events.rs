@@ -38,6 +38,30 @@ pub enum ProtocolEvent {
     RemoteWriteback,
 }
 
+impl ProtocolEvent {
+    /// Number of distinct event kinds (size of batched count arrays).
+    pub const COUNT: usize = 9;
+
+    /// All event kinds, in [`Self::idx`] order.
+    pub const ALL: [ProtocolEvent; Self::COUNT] = [
+        ProtocolEvent::ReadFill,
+        ProtocolEvent::Upgrade,
+        ProtocolEvent::ReadExclusive,
+        ProtocolEvent::Injection,
+        ProtocolEvent::OwnershipMigration,
+        ProtocolEvent::Pageout,
+        ProtocolEvent::SharedDrop,
+        ProtocolEvent::ColdAlloc,
+        ProtocolEvent::RemoteWriteback,
+    ];
+
+    /// Index into per-event count arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
 /// Anything that consumes protocol events.
 ///
 /// The default implementation every simulation uses is [`CounterSink`];
@@ -102,6 +126,135 @@ impl EventSink for CounterSink {
                 self.counters.remote_writebacks += 1;
             }
         }
+    }
+}
+
+impl CounterSink {
+    /// Record `n` occurrences of `ev` at once. Every counter this sink
+    /// maintains is a plain sum, so bulk application is byte-identical
+    /// to `n` individual [`EventSink::record`] calls — this is what a
+    /// [`BatchedSink`] flush uses.
+    pub fn record_n(&mut self, ev: ProtocolEvent, n: u64) {
+        use crate::traffic::{CMD_TXN_BYTES, DATA_TXN_BYTES};
+        if n == 0 {
+            return;
+        }
+        match ev {
+            ProtocolEvent::ReadFill => {
+                self.traffic.read_txns += n;
+                self.traffic.read_bytes += n * DATA_TXN_BYTES;
+            }
+            ProtocolEvent::Upgrade => {
+                self.traffic.write_txns += n;
+                self.traffic.write_bytes += n * CMD_TXN_BYTES;
+            }
+            ProtocolEvent::ReadExclusive => {
+                self.traffic.write_txns += n;
+                self.traffic.write_bytes += n * DATA_TXN_BYTES;
+            }
+            ProtocolEvent::Injection => {
+                self.traffic.replace_txns += n;
+                self.traffic.replace_bytes += n * DATA_TXN_BYTES;
+                self.counters.injections += n;
+            }
+            ProtocolEvent::OwnershipMigration => {
+                self.traffic.replace_txns += n;
+                self.traffic.replace_bytes += n * CMD_TXN_BYTES;
+                self.counters.ownership_migrations += n;
+            }
+            ProtocolEvent::Pageout => {
+                self.traffic.pageouts += n;
+                self.traffic.replace_txns += n;
+                self.traffic.replace_bytes += n * DATA_TXN_BYTES;
+                self.counters.pageouts += n;
+            }
+            ProtocolEvent::SharedDrop => self.counters.shared_drops += n,
+            ProtocolEvent::ColdAlloc => self.counters.cold_allocs += n,
+            ProtocolEvent::RemoteWriteback => {
+                self.traffic.replace_txns += n;
+                self.traffic.replace_bytes += n * DATA_TXN_BYTES;
+                self.counters.remote_writebacks += n;
+            }
+        }
+    }
+}
+
+/// An [`EventSink`] that batches: the per-event cost is one increment of
+/// a small local count array; the [`CounterSink`]'s scattered traffic
+/// and counter fields are only touched when [`BatchedSink::flush`] runs
+/// (the driver flushes at synchronization points — lock, unlock,
+/// barrier, write-buffer drain — and when building the final report).
+///
+/// Because every number the inner sink maintains is a plain sum, flush
+/// placement cannot change any total: a batched run is byte-identical
+/// to a direct one (pinned by the differential tests). Code that reads
+/// [`Self::sink`] mid-run must flush first; the accessor debug-asserts
+/// that nothing is pending.
+///
+/// `direct` mode (for differential testing) bypasses batching entirely
+/// and forwards each event straight to the inner sink.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchedSink {
+    pending: [u64; ProtocolEvent::COUNT],
+    inner: CounterSink,
+    direct: bool,
+}
+
+impl EventSink for BatchedSink {
+    #[inline]
+    fn record(&mut self, ev: ProtocolEvent) {
+        if self.direct {
+            self.inner.record(ev);
+        } else {
+            self.pending[ev.idx()] += 1;
+        }
+    }
+}
+
+impl BatchedSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink that forwards every event unbatched (reference behavior
+    /// for the batching differential tests).
+    pub fn direct() -> Self {
+        BatchedSink {
+            direct: true,
+            ..Self::default()
+        }
+    }
+
+    /// Switch between batched and direct forwarding. Flushes first, so
+    /// toggling mid-run loses nothing.
+    pub fn set_direct(&mut self, on: bool) {
+        self.flush();
+        self.direct = on;
+    }
+
+    /// Apply all pending counts to the inner [`CounterSink`].
+    pub fn flush(&mut self) {
+        for ev in ProtocolEvent::ALL {
+            let n = std::mem::take(&mut self.pending[ev.idx()]);
+            self.inner.record_n(ev, n);
+        }
+    }
+
+    /// Events recorded since the last flush.
+    pub fn pending_events(&self) -> u64 {
+        self.pending.iter().sum()
+    }
+
+    /// The flushed totals. Callers must [`Self::flush`] first; reading
+    /// with events pending means the totals are stale.
+    #[inline]
+    pub fn sink(&self) -> &CounterSink {
+        debug_assert_eq!(
+            self.pending_events(),
+            0,
+            "reading batched totals with unflushed events pending"
+        );
+        &self.inner
     }
 }
 
@@ -203,5 +356,78 @@ mod tests {
         s.record(ProtocolEvent::RemoteWriteback);
         assert_eq!(s.traffic.replace_bytes, DATA_TXN_BYTES);
         assert_eq!(s.counters.remote_writebacks, 1);
+    }
+
+    #[test]
+    fn all_table_matches_discriminant_order() {
+        for (i, ev) in ProtocolEvent::ALL.into_iter().enumerate() {
+            assert_eq!(ev.idx(), i);
+        }
+    }
+
+    #[test]
+    fn record_n_matches_n_individual_records() {
+        for ev in ProtocolEvent::ALL {
+            for n in [0u64, 1, 2, 7] {
+                let mut bulk = CounterSink::default();
+                bulk.record_n(ev, n);
+                let mut one_by_one = CounterSink::default();
+                for _ in 0..n {
+                    one_by_one.record(ev);
+                }
+                assert_eq!(bulk, one_by_one, "{ev:?} x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_flush_is_byte_identical_to_direct() {
+        // A deterministic pseudo-random event sequence, replayed through a
+        // direct CounterSink and a BatchedSink with flushes interleaved at
+        // arbitrary points: totals must agree exactly.
+        let mut direct = CounterSink::default();
+        let mut batched = BatchedSink::new();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let ev = ProtocolEvent::ALL[(x % ProtocolEvent::COUNT as u64) as usize];
+            direct.record(ev);
+            batched.record(ev);
+            if x.is_multiple_of(37) {
+                batched.flush();
+            }
+            if i == 5000 {
+                // Mid-run read after a flush must already match.
+                batched.flush();
+                assert_eq!(*batched.sink(), direct);
+            }
+        }
+        batched.flush();
+        assert_eq!(batched.pending_events(), 0);
+        assert_eq!(*batched.sink(), direct);
+    }
+
+    #[test]
+    fn direct_mode_bypasses_batching() {
+        let mut s = BatchedSink::direct();
+        s.record(ProtocolEvent::ReadFill);
+        assert_eq!(s.pending_events(), 0);
+        assert_eq!(s.sink().traffic.read_txns, 1);
+    }
+
+    #[test]
+    fn audit_decorator_counts_over_batched_inner() {
+        // The auditor sees every event unbatched even when the inner sink
+        // defers its counting.
+        let mut s: AuditSink<BatchedSink> = AuditSink::new(BatchedSink::new());
+        s.arm(true);
+        s.record(ProtocolEvent::Upgrade);
+        s.record(ProtocolEvent::SharedDrop);
+        assert_eq!(s.take_pending(), 2);
+        assert_eq!(s.inner.pending_events(), 2);
+        s.inner.flush();
+        assert_eq!(s.inner.sink().counters.shared_drops, 1);
     }
 }

@@ -24,4 +24,4 @@ pub mod write_buffer;
 pub use event::EventQueue;
 pub use interconnect::{HierarchicalFabric, IdealInterconnect, Interconnect};
 pub use resource::Resource;
-pub use write_buffer::WriteBuffer;
+pub use write_buffer::{WriteBuffer, WriteBufferArray};

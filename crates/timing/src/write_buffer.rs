@@ -96,6 +96,110 @@ impl WriteBuffer {
     }
 }
 
+/// All processors' write buffers in one flat slab: completion times live
+/// in a single `n_procs × capacity` array walked by processor index, so
+/// the simulation driver's hot path stays on contiguous memory instead
+/// of chasing one heap allocation per processor.
+///
+/// Semantically identical to a `Vec<WriteBuffer>` (pinned by the
+/// differential test below): the buffer is a *set* of completion times,
+/// so the unsorted fixed slab with linear min-scan — capacity is 10 in
+/// the paper, so a scan beats a heap — retires, stalls and drains at
+/// exactly the same instants.
+#[derive(Clone, Debug)]
+pub struct WriteBufferArray {
+    capacity: usize,
+    /// Slot `p * capacity ..` holds processor `p`'s in-flight times.
+    times: Box<[Nanos]>,
+    /// Live entries per processor (≤ capacity).
+    len: Box<[u32]>,
+    full_stall_ns: Box<[Nanos]>,
+}
+
+impl WriteBufferArray {
+    pub fn new(n_procs: usize, capacity: usize) -> Self {
+        WriteBufferArray {
+            capacity,
+            times: vec![0; n_procs * capacity].into_boxed_slice(),
+            len: vec![0; n_procs].into_boxed_slice(),
+            full_stall_ns: vec![0; n_procs].into_boxed_slice(),
+        }
+    }
+
+    /// Drop processor `p`'s entries that have completed by `now`.
+    #[inline]
+    fn retire(&mut self, p: usize, now: Nanos) {
+        let base = p * self.capacity;
+        let mut n = self.len[p] as usize;
+        let mut i = 0;
+        while i < n {
+            if self.times[base + i] <= now {
+                n -= 1;
+                self.times.swap(base + i, base + n);
+            } else {
+                i += 1;
+            }
+        }
+        self.len[p] = n as u32;
+    }
+
+    /// [`WriteBuffer::push`] for processor `p`.
+    pub fn push(&mut self, p: usize, now: Nanos, completes_at: Nanos) -> Nanos {
+        self.retire(p, now);
+        if self.capacity == 0 {
+            let resume = completes_at.max(now);
+            self.full_stall_ns[p] += resume - now;
+            return resume;
+        }
+        let base = p * self.capacity;
+        let mut resume = now;
+        if self.len[p] as usize == self.capacity {
+            // Full: wait for (and evict) the oldest outstanding write.
+            let n = self.capacity;
+            let mut min_i = 0;
+            for i in 1..n {
+                if self.times[base + i] < self.times[base + min_i] {
+                    min_i = i;
+                }
+            }
+            resume = self.times[base + min_i].max(now);
+            self.full_stall_ns[p] += resume - now;
+            self.times.swap(base + min_i, base + n - 1);
+            self.len[p] -= 1;
+            self.retire(p, resume);
+        }
+        let n = self.len[p] as usize;
+        self.times[base + n] = completes_at;
+        self.len[p] += 1;
+        resume
+    }
+
+    /// [`WriteBuffer::drain`] for processor `p`.
+    pub fn drain(&mut self, p: usize, now: Nanos) -> Nanos {
+        let base = p * self.capacity;
+        let n = std::mem::take(&mut self.len[p]) as usize;
+        self.times[base..base + n]
+            .iter()
+            .copied()
+            .fold(now, Nanos::max)
+    }
+
+    /// [`WriteBuffer::outstanding`] for processor `p`.
+    pub fn outstanding(&mut self, p: usize, now: Nanos) -> usize {
+        self.retire(p, now);
+        self.len[p] as usize
+    }
+
+    /// Accumulated full-buffer stall time for processor `p`.
+    pub fn full_stall_ns(&self, p: usize) -> Nanos {
+        self.full_stall_ns[p]
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +273,58 @@ mod tests {
         assert_eq!(wb.outstanding(150), 2);
         assert_eq!(wb.outstanding(250), 1);
         assert_eq!(wb.outstanding(350), 0);
+    }
+
+    /// Minimal xorshift so the differential test needs no dev-dependency.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    /// The flat-slab array must agree with a `Vec<WriteBuffer>` on every
+    /// operation's return value and every stall total, under a random
+    /// interleaving of pushes, drains and outstanding queries across
+    /// several processors and capacities (including 0 and 1).
+    #[test]
+    fn array_matches_per_proc_buffers_differentially() {
+        for capacity in [0usize, 1, 2, 10] {
+            let n_procs = 4;
+            let mut reference: Vec<WriteBuffer> =
+                (0..n_procs).map(|_| WriteBuffer::new(capacity)).collect();
+            let mut array = WriteBufferArray::new(n_procs, capacity);
+            let mut rng = Rng(0x9e37_79b9_7f4a_7c15 ^ capacity as u64);
+            // Per-processor monotone clocks, like the simulation's.
+            let mut clock = vec![0u64; n_procs];
+            for _ in 0..5_000 {
+                let p = (rng.next() % n_procs as u64) as usize;
+                clock[p] += rng.next() % 50;
+                let now = clock[p];
+                match rng.next() % 10 {
+                    0 => {
+                        assert_eq!(reference[p].drain(now), array.drain(p, now));
+                    }
+                    1 => {
+                        assert_eq!(reference[p].outstanding(now), array.outstanding(p, now));
+                    }
+                    _ => {
+                        let completes = now + rng.next() % 400;
+                        assert_eq!(
+                            reference[p].push(now, completes),
+                            array.push(p, now, completes),
+                            "push(cap {capacity}, proc {p}, now {now})"
+                        );
+                    }
+                }
+            }
+            for p in 0..n_procs {
+                assert_eq!(reference[p].full_stall_ns(), array.full_stall_ns(p));
+                assert_eq!(reference[p].drain(clock[p]), array.drain(p, clock[p]));
+            }
+        }
     }
 }

@@ -17,6 +17,7 @@ pub mod config;
 pub mod fastmod;
 pub mod ids;
 pub mod nodeset;
+pub mod prefetch;
 pub mod pressure;
 pub mod rng;
 pub mod time;
@@ -27,6 +28,7 @@ pub use config::{ConfigError, LatencyConfig, MachineConfig, MachineGeometry};
 pub use fastmod::FastMod;
 pub use ids::{NodeId, ProcId};
 pub use nodeset::NodeSet;
+pub use prefetch::prefetch_read;
 pub use pressure::{full_replication_threshold, MemoryPressure};
 pub use rng::{Rng64, ZipfSampler};
 pub use time::Nanos;

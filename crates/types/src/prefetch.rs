@@ -1,0 +1,52 @@
+//! Software prefetch hint, usable from any crate in the workspace.
+//!
+//! The simulated cache arrays (SLCs, attraction memories, the line
+//! directory) are sized to the *simulated* machine's working sets and do
+//! not fit the host's caches, so nearly every probe on a miss path is a
+//! host DRAM access. The driver knows each processor's next reference one
+//! operation ahead of executing it, which is exactly the distance needed
+//! to overlap those misses with the current operation's protocol work —
+//! see `MemorySystem::prefetch`.
+//!
+//! A prefetch is purely a performance hint: it reads nothing a program
+//! can observe and writes nothing, so issuing (or not issuing) one can
+//! never change simulation results.
+
+/// Hint the CPU to pull the cache line containing `p` into L1.
+///
+/// No-op on architectures without a stable prefetch primitive. Safe for
+/// any pointer value — prefetch instructions do not fault.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 is a hint; it cannot fault even on invalid
+    // addresses and has no architectural side effects.
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM PLDL1KEEP is a hint with no architectural effects.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) p,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_side_effect_free() {
+        let v = [1u64, 2, 3];
+        prefetch_read(&v[0]);
+        prefetch_read(v.as_ptr().wrapping_add(1_000_000)); // out of bounds: still fine
+        assert_eq!(v, [1, 2, 3]);
+    }
+}

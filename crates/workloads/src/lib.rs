@@ -24,6 +24,7 @@
 
 pub mod apps;
 pub mod catalog;
+pub mod compiled;
 pub mod op;
 pub mod pattern;
 pub mod region;
@@ -33,6 +34,7 @@ pub mod workload;
 
 pub use apps::synth::{build as build_synth, SynthSpec};
 pub use catalog::AppId;
+pub use compiled::{FlatKind, FlatOp, OpArena};
 pub use op::{Op, OpStream};
 pub use pattern::{BlockWalker, StrideWalker};
 pub use region::Region;

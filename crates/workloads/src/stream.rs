@@ -12,7 +12,6 @@
 
 use crate::op::{Op, OpStream};
 use coma_types::{Addr, Rng64};
-use std::collections::VecDeque;
 
 /// Scales the amount of work (outer iterations) an application performs.
 ///
@@ -42,9 +41,17 @@ impl Scale {
 
 /// Operation buffer with helpers for the idioms the models share:
 /// compute gaps between references, read/write mixes, locks and barriers.
+///
+/// Internally a `Vec` with a consuming head cursor rather than a ring
+/// buffer: the producer (one `gen_iter`) and consumer (`Stream::next_op`)
+/// strictly alternate in bulk, so pushes are plain appends and pops are an
+/// index bump — no wrap-around masking on the trace-compilation hot path.
+/// The storage is recycled (cleared, cursor rewound) each time the buffer
+/// drains, so memory stays bounded at one iteration's operations.
 #[derive(Debug)]
 pub struct OpBuf {
-    ops: VecDeque<Op>,
+    ops: Vec<Op>,
+    head: usize,
     rng: Rng64,
     gap_lo: u32,
     gap_hi: u32,
@@ -54,7 +61,8 @@ pub struct OpBuf {
 impl OpBuf {
     fn new(rng: Rng64) -> Self {
         OpBuf {
-            ops: VecDeque::new(),
+            ops: Vec::new(),
+            head: 0,
             rng,
             gap_lo: 2,
             gap_hi: 6,
@@ -92,23 +100,26 @@ impl OpBuf {
         if n == 0 {
             return;
         }
-        if let Some(Op::Compute(m)) = self.ops.back_mut() {
-            *m = m.saturating_add(n);
-        } else {
-            self.ops.push_back(Op::Compute(n));
+        // Only coalesce with an op the consumer has not yet taken.
+        if self.head < self.ops.len() {
+            if let Some(Op::Compute(m)) = self.ops.last_mut() {
+                *m = m.saturating_add(n);
+                return;
+            }
         }
+        self.ops.push(Op::Compute(n));
     }
 
     /// Gap + read.
     pub fn read(&mut self, a: Addr) {
         self.gap();
-        self.ops.push_back(Op::Read(a));
+        self.ops.push(Op::Read(a));
     }
 
     /// Gap + write.
     pub fn write(&mut self, a: Addr) {
         self.gap();
-        self.ops.push_back(Op::Write(a));
+        self.ops.push(Op::Write(a));
     }
 
     /// Gap + read-or-write with the given write probability.
@@ -123,34 +134,45 @@ impl OpBuf {
     /// Read-modify-write of one location (load then store).
     pub fn update(&mut self, a: Addr) {
         self.read(a);
-        self.ops.push_back(Op::Write(a));
+        self.ops.push(Op::Write(a));
     }
 
     pub fn lock(&mut self, id: u32) {
-        self.ops.push_back(Op::Lock(id));
+        self.ops.push(Op::Lock(id));
     }
 
     pub fn unlock(&mut self, id: u32) {
-        self.ops.push_back(Op::Unlock(id));
+        self.ops.push(Op::Unlock(id));
     }
 
     /// Emit the next global barrier (sequentially numbered).
     pub fn barrier(&mut self) {
-        self.ops.push_back(Op::Barrier(self.barrier_ctr));
+        self.ops.push(Op::Barrier(self.barrier_ctr));
         self.barrier_ctr += 1;
     }
 
-    /// Number of buffered operations (tests / diagnostics).
+    /// Number of buffered (unconsumed) operations (tests / diagnostics).
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.ops.len() - self.head
     }
 
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.head == self.ops.len()
     }
 
     fn pop(&mut self) -> Option<Op> {
-        self.ops.pop_front()
+        match self.ops.get(self.head) {
+            Some(&op) => {
+                self.head += 1;
+                Some(op)
+            }
+            None => {
+                // Drained: recycle the storage for the next iteration.
+                self.ops.clear();
+                self.head = 0;
+                None
+            }
+        }
     }
 }
 

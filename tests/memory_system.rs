@@ -53,6 +53,7 @@ fn trait_object_smoke_all_architectures() {
             } else {
                 m.read(p, l);
             }
+            m.flush_stats();
             let bytes = m.traffic().total_bytes();
             assert!(bytes >= last_bytes, "{name}: traffic shrank at op {i}");
             last_bytes = bytes;
@@ -61,8 +62,10 @@ fn trait_object_smoke_all_architectures() {
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         // A cached line is served without touching the bus.
         m.read(ProcId(0), LineNum(7));
+        m.flush_stats();
         let before = m.traffic().total_txns();
         m.read(ProcId(0), LineNum(7));
+        m.flush_stats();
         assert_eq!(m.traffic().total_txns(), before, "{name}: rehit used bus");
     }
 }
