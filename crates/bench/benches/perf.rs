@@ -32,7 +32,7 @@ const FLAT16: Topology = Topology {
     levels: 0,
 };
 
-const CASES: [Case; 7] = [
+const CASES: [Case; 8] = [
     // Hit-dominated: every AM holds the whole working set (no replacement).
     Case {
         name: "sim/fft_1p_mp6",
@@ -90,6 +90,19 @@ const CASES: [Case; 7] = [
         ppn: 2,
         mp: MemoryPressure::MP_81,
         model: MemoryModel::Numa,
+        procs: 16,
+        topology: FLAT16,
+    },
+    // The production-traffic path: Zipf sampling, the shard-lock
+    // transaction sequence and hot-line replication all on the measured
+    // path (the kv golden configuration; stream generation included, so
+    // this also tracks generator-layer throughput).
+    Case {
+        name: "sim/traffic_smoke",
+        app: AppId::KvZipf,
+        ppn: 2,
+        mp: MemoryPressure::MP_81,
+        model: MemoryModel::Coma,
         procs: 16,
         topology: FLAT16,
     },

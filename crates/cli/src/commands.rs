@@ -154,7 +154,7 @@ pub fn verify(args: &Args) -> Result<(), String> {
 pub fn list(args: &Args) -> Result<(), String> {
     args.expect_only(&[])?;
     let mut t = Table::new(vec!["name", "description", "ws (KB)"]);
-    for app in AppId::ALL {
+    for app in AppId::ALL.into_iter().chain(AppId::TRAFFIC) {
         t.row(vec![
             app.name().to_string(),
             app.description().to_string(),

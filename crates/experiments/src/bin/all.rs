@@ -21,7 +21,7 @@
 use std::process::{Command, ExitCode};
 use std::time::Instant;
 
-const BINS: [&str; 10] = [
+const BINS: [&str; 11] = [
     "table1",
     "fig2",
     "fig3",
@@ -32,6 +32,7 @@ const BINS: [&str; 10] = [
     "coma_vs_numa",
     "inclusion",
     "ablation",
+    "traffic",
 ];
 
 /// The knobs every experiment binary reads (see `coma_experiments` docs).

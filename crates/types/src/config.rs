@@ -93,6 +93,12 @@ pub enum ConfigError {
     /// Level count inconsistent with the group count (flat needs 0 levels,
     /// multiple groups need 1 ≤ levels ≤ ⌈log₂ n_groups⌉).
     LevelsOutOfRange { n_groups: usize, levels: usize },
+    /// A workload generator was configured with an empty object universe
+    /// (zero keys, zero vertices, …).
+    EmptyWorkload {
+        family: &'static str,
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -126,6 +132,9 @@ impl fmt::Display for ConfigError {
                 "{levels} directory levels inconsistent with {n_groups} groups \
                  (flat needs 0; multiple groups need 1..=ceil(log2 n_groups))"
             ),
+            ConfigError::EmptyWorkload { family, what } => {
+                write!(f, "{family}: {what} must be non-zero")
+            }
         }
     }
 }

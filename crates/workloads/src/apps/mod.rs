@@ -1,9 +1,12 @@
-//! The 14 SPLASH-2-analogue application models.
+//! The 14 SPLASH-2-analogue application models, plus the two
+//! production-shaped traffic families (`kv_zipf`, `graph_bfs`).
 //!
 //! Each module documents which SPLASH-2 program it stands in for, what
 //! structural features of that program it reproduces (partitioning,
 //! sharing breadth, communication locality, synchronization, bandwidth
 //! demand), and which of the paper's figures the application appears in.
+//! The traffic families instead document which production access pattern
+//! they model and why it stresses attraction memories.
 //!
 //! All models are deterministic in `(processor, seed)` and respect the
 //! scaled Table-1 working-set sizes supplied by the catalog.
@@ -12,6 +15,8 @@ pub mod barnes;
 pub mod cholesky;
 pub mod fft;
 pub mod fmm;
+pub mod graph_bfs;
+pub mod kv_zipf;
 pub mod lu;
 pub mod ocean;
 pub mod radiosity;

@@ -14,7 +14,9 @@ use crate::workload::Workload;
 /// Factor by which Table-1 working sets are scaled down (see DESIGN.md §2).
 pub const WS_SCALE_DIV: u64 = 16;
 
-/// The fourteen SPLASH-2 applications of Table 1.
+/// The fourteen SPLASH-2 applications of Table 1, plus the two
+/// production-shaped traffic families ([`AppId::TRAFFIC`]) that extend
+/// the study beyond HPC sharing patterns.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AppId {
     Barnes,
@@ -31,6 +33,12 @@ pub enum AppId {
     Volrend,
     WaterN2,
     WaterSp,
+    /// Zipf-skewed key-value / OLTP traffic (read-hot, shard-locked
+    /// updates) — the favourable case for AM replication.
+    KvZipf,
+    /// Irregular graph analysis (level-synchronized BFS + pointer
+    /// chasing) — the adversarial, locality-free case.
+    GraphBfs,
 }
 
 impl AppId {
@@ -76,6 +84,10 @@ impl AppId {
         AppId::Volrend,
     ];
 
+    /// The production-shaped traffic families (not part of the paper's
+    /// Table 1 suite; swept by the `traffic` experiment).
+    pub const TRAFFIC: [AppId; 2] = [AppId::KvZipf, AppId::GraphBfs];
+
     /// Table-1 name.
     pub fn name(self) -> &'static str {
         match self {
@@ -93,6 +105,8 @@ impl AppId {
             AppId::Volrend => "Volrend",
             AppId::WaterN2 => "Water n2",
             AppId::WaterSp => "Water sp",
+            AppId::KvZipf => "KV Zipf",
+            AppId::GraphBfs => "Graph BFS",
         }
     }
 
@@ -113,6 +127,8 @@ impl AppId {
             AppId::Volrend => "3-D volume rendering, 256x256x126 vx head",
             AppId::WaterN2 => "Molecular dyn. N-body O(n2), 512 mol.",
             AppId::WaterSp => "Molecular dyn. N-body O(n), larger data structure, 512 mol.",
+            AppId::KvZipf => "Zipf(1.0) key-value store, 16K keys, 10% locked updates",
+            AppId::GraphBfs => "Irregular graph, 32K vx R-MAT, level-sync BFS + ptr chase",
         }
     }
 
@@ -134,6 +150,11 @@ impl AppId {
             AppId::Volrend => 22.5,
             AppId::WaterN2 => 1.0,
             AppId::WaterSp => 1.7,
+            // Not Table-1 entries; sized mid-suite so the standard MP
+            // sweep exercises the same pressure range. Chosen so the
+            // scaled store holds exactly 16 Ki keys / 32 Ki vertices.
+            AppId::KvZipf => 18.0,
+            AppId::GraphBfs => 36.0,
         }
     }
 
@@ -161,6 +182,8 @@ impl AppId {
             AppId::Volrend => apps::volrend::build(nprocs, seed, scale, ws),
             AppId::WaterN2 => apps::water::build_n2(nprocs, seed, scale, ws),
             AppId::WaterSp => apps::water::build_sp(nprocs, seed, scale, ws),
+            AppId::KvZipf => apps::kv_zipf::build(nprocs, seed, scale, ws),
+            AppId::GraphBfs => apps::graph_bfs::build(nprocs, seed, scale, ws),
         }
     }
 }
@@ -178,6 +201,7 @@ impl std::str::FromStr for AppId {
         let norm = s.to_ascii_lowercase().replace([' ', '-', '_'], "");
         AppId::ALL
             .into_iter()
+            .chain(AppId::TRAFFIC)
             .find(|a| a.name().to_ascii_lowercase().replace(' ', "") == norm)
             .ok_or_else(|| format!("unknown application '{s}'"))
     }
@@ -187,6 +211,12 @@ impl std::str::FromStr for AppId {
 mod tests {
     use super::*;
     use crate::op::{Op, OpStream};
+
+    /// Every registered application: the Table-1 suite plus the traffic
+    /// families.
+    fn every_app() -> impl Iterator<Item = AppId> {
+        AppId::ALL.into_iter().chain(AppId::TRAFFIC)
+    }
 
     #[test]
     fn groups_partition_the_suite() {
@@ -201,7 +231,7 @@ mod tests {
 
     #[test]
     fn every_app_builds_and_produces_ops() {
-        for app in AppId::ALL {
+        for app in every_app() {
             let mut wl = app.build(16, 1, Scale::SMOKE);
             assert_eq!(wl.streams.len(), 16, "{app}");
             assert!(wl.ws_bytes > 0);
@@ -220,7 +250,7 @@ mod tests {
 
     #[test]
     fn every_app_stays_inside_working_set() {
-        for app in AppId::ALL {
+        for app in every_app() {
             let mut wl = app.build(4, 2, Scale::SMOKE);
             let ws = wl.ws_bytes;
             for s in &mut wl.streams {
@@ -240,7 +270,7 @@ mod tests {
 
     #[test]
     fn every_app_lock_ids_in_range() {
-        for app in AppId::ALL {
+        for app in every_app() {
             let mut wl = app.build(4, 3, Scale::SMOKE);
             let n_locks = wl.n_locks;
             for s in &mut wl.streams {
@@ -255,7 +285,7 @@ mod tests {
 
     #[test]
     fn barrier_sequences_identical_on_all_procs() {
-        for app in AppId::ALL {
+        for app in every_app() {
             let mut wl = app.build(4, 4, Scale::SMOKE);
             let seqs: Vec<Vec<u32>> = wl
                 .streams
@@ -281,12 +311,62 @@ mod tests {
         assert_eq!("fft".parse::<AppId>().unwrap(), AppId::Fft);
         assert_eq!("LU cont".parse::<AppId>().unwrap(), AppId::LuCont);
         assert_eq!("water-n2".parse::<AppId>().unwrap(), AppId::WaterN2);
+        assert_eq!("kv-zipf".parse::<AppId>().unwrap(), AppId::KvZipf);
+        assert_eq!("kv_zipf".parse::<AppId>().unwrap(), AppId::KvZipf);
+        assert_eq!("graph bfs".parse::<AppId>().unwrap(), AppId::GraphBfs);
         assert!("nosuch".parse::<AppId>().is_err());
     }
 
     #[test]
+    fn traffic_families_are_not_in_the_paper_suite() {
+        for t in AppId::TRAFFIC {
+            assert!(!AppId::ALL.contains(&t), "{t} leaked into Table 1");
+        }
+    }
+
+    #[test]
+    fn kv_zipf_rejects_zero_keys() {
+        use crate::apps::kv_zipf::{build_spec, KvSpec};
+        let mut spec = KvSpec::from_ws(AppId::KvZipf.ws_bytes());
+        spec.n_keys = 0;
+        let err = build_spec(&spec, 4, 1, Scale::SMOKE).err().unwrap();
+        assert_eq!(
+            err,
+            coma_types::ConfigError::EmptyWorkload {
+                family: "kv_zipf",
+                what: "n_keys",
+            }
+        );
+    }
+
+    #[test]
+    fn graph_bfs_rejects_zero_vertices() {
+        use crate::apps::graph_bfs::{build_spec, GraphSpec};
+        let mut spec = GraphSpec::from_ws(AppId::GraphBfs.ws_bytes());
+        spec.n_vertices = 0;
+        let err = build_spec(&spec, 4, 1, Scale::SMOKE).err().unwrap();
+        assert_eq!(
+            err,
+            coma_types::ConfigError::EmptyWorkload {
+                family: "graph_bfs",
+                what: "n_vertices",
+            }
+        );
+    }
+
+    #[test]
+    fn traffic_default_specs_hold_round_universes() {
+        use crate::apps::{graph_bfs::GraphSpec, kv_zipf::KvSpec};
+        assert_eq!(KvSpec::from_ws(AppId::KvZipf.ws_bytes()).n_keys, 16 * 1024);
+        assert_eq!(
+            GraphSpec::from_ws(AppId::GraphBfs.ws_bytes()).n_vertices,
+            32 * 1024
+        );
+    }
+
+    #[test]
     fn scaled_working_sets_match_table_ratio() {
-        for app in AppId::ALL {
+        for app in every_app() {
             let expected = (app.paper_ws_mb() * (1u64 << 20) as f64) as u64 / WS_SCALE_DIV;
             assert_eq!(app.ws_bytes(), expected);
         }
@@ -296,7 +376,13 @@ mod tests {
 
     #[test]
     fn deterministic_builds() {
-        for app in [AppId::Radiosity, AppId::Barnes, AppId::Radix] {
+        for app in [
+            AppId::Radiosity,
+            AppId::Barnes,
+            AppId::Radix,
+            AppId::KvZipf,
+            AppId::GraphBfs,
+        ] {
             let run = || {
                 let mut wl = app.build(2, 9, Scale::SMOKE);
                 let mut v = Vec::new();

@@ -32,6 +32,8 @@ pub mod stream;
 pub mod trace;
 pub mod workload;
 
+pub use apps::graph_bfs::GraphSpec;
+pub use apps::kv_zipf::KvSpec;
 pub use apps::synth::{build as build_synth, SynthSpec};
 pub use catalog::AppId;
 pub use compiled::{FlatKind, FlatOp, OpArena};

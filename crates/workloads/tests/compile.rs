@@ -68,7 +68,7 @@ fn fold_span(arena: &OpArena, proc: usize) -> (Vec<Event>, Nanos) {
 
 #[test]
 fn compiled_arena_replays_every_catalog_app() {
-    for app in AppId::ALL {
+    for app in AppId::ALL.into_iter().chain(AppId::TRAFFIC) {
         // Two identical builds: one interpreted reference, one compiled.
         let reference = app.build(4, 11, Scale::SMOKE);
         let compiled = app.build(4, 11, Scale::SMOKE);
@@ -119,5 +119,75 @@ fn zero_gap_streams_compile_without_gap_records() {
     for i in s..e {
         assert_eq!(arena.get(i).gap_ns(), 0);
         assert_eq!(arena.get(i).kind(), FlatKind::Read);
+    }
+}
+
+/// A synthetic stream of `len` operations cycling through every op kind
+/// with a gap pattern that includes gaps long enough to spill into
+/// standalone Gap records.
+struct Mixed {
+    remaining: u64,
+    i: u64,
+}
+
+impl Mixed {
+    fn new(len: u64) -> Self {
+        Mixed {
+            remaining: len,
+            i: 0,
+        }
+    }
+}
+
+impl OpStream for Mixed {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let i = self.i;
+        self.i += 1;
+        Some(match i % 7 {
+            0 => Op::Read(coma_types::Addr(64 * (i % 97))),
+            1 => Op::Compute(3),
+            // Large enough that the accumulated gap exceeds the inline
+            // gap field and must spill into Gap records.
+            2 => Op::Compute(40_000_000),
+            3 => Op::Write(coma_types::Addr(64 * (i % 89))),
+            4 => Op::Lock((i % 5) as u32),
+            5 => Op::Unlock((i % 5) as u32),
+            _ => Op::Barrier((i / 7) as u32),
+        })
+    }
+}
+
+/// Compiled replay must stay exact at stream lengths straddling every
+/// 64-record chunk boundary: len ≡ 0, 1 and 63 (mod 64).
+#[test]
+fn chunk_boundary_lengths_replay_exactly() {
+    for len in [0u64, 1, 63, 64, 65, 127, 128, 191, 192, 193, 255] {
+        let (want, want_tail) = fold_stream(&mut Mixed::new(len));
+        let mut arena = OpArena::new();
+        arena.push_stream(&mut Mixed::new(len));
+        let (got, got_tail) = fold_span(&arena, 0);
+        assert_eq!(got, want, "len {len}: ops diverge");
+        assert_eq!(got_tail, want_tail, "len {len}: trailing gap diverges");
+    }
+}
+
+/// Multi-stream arenas keep exact spans at the same boundary lengths.
+#[test]
+fn chunk_boundary_spans_stay_separated() {
+    let lens = [63u64, 64, 65];
+    let mut arena = OpArena::new();
+    for &len in &lens {
+        arena.push_stream(&mut Mixed::new(len));
+    }
+    assert_eq!(arena.n_streams(), lens.len());
+    for (p, &len) in lens.iter().enumerate() {
+        let (want, want_tail) = fold_stream(&mut Mixed::new(len));
+        let (got, got_tail) = fold_span(&arena, p);
+        assert_eq!(got, want, "stream {p} (len {len}) diverges");
+        assert_eq!(got_tail, want_tail, "stream {p} trailing gap");
     }
 }

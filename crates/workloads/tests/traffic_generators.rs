@@ -1,0 +1,130 @@
+//! Property tests for the production-shaped traffic generators: the Zipf
+//! sampler really produces the configured popularity law, the hot-set
+//! mass matches the analytic harmonic sums, and both families are
+//! deterministic functions of their seed.
+
+use coma_types::{Rng64, ZipfSampler};
+use coma_workloads::{AppId, Op, OpArena, Scale};
+
+/// Empirical rank frequencies from `draws` samples over `0..n`.
+fn rank_counts(n: usize, s: f64, seed: u64, draws: usize) -> Vec<u64> {
+    let z = ZipfSampler::new(n, s);
+    let mut rng = Rng64::new(seed);
+    let mut counts = vec![0u64; n];
+    for _ in 0..draws {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    counts
+}
+
+/// Least-squares slope of ln(freq) against ln(rank) over the top ranks,
+/// which for a Zipf(s) law is −s.
+fn log_log_slope(counts: &[u64], top: usize) -> f64 {
+    let pts: Vec<(f64, f64)> = counts
+        .iter()
+        .take(top)
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let (sx, sy): (f64, f64) = pts
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (sxx, sxy): (f64, f64) = pts
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Analytic mass of the top `k` ranks: Σ_{i≤k} i^−s / Σ_{i≤n} i^−s.
+fn zipf_head_mass(n: usize, s: f64, k: usize) -> f64 {
+    let sum = |m: usize| (1..=m).map(|i| (i as f64).powf(-s)).sum::<f64>();
+    sum(k) / sum(n)
+}
+
+#[test]
+fn zipf_rank_frequency_slope_matches_exponent() {
+    const N: usize = 2048;
+    const DRAWS: usize = 300_000;
+    for (seed, s) in [(11u64, 0.8f64), (12, 1.0), (13, 1.2)] {
+        let counts = rank_counts(N, s, seed, DRAWS);
+        let slope = log_log_slope(&counts, 50);
+        assert!(
+            (slope + s).abs() < 0.12,
+            "s={s}: fitted slope {slope}, expected {}",
+            -s
+        );
+    }
+}
+
+#[test]
+fn zipf_hot_set_mass_matches_harmonic_sums() {
+    const N: usize = 2048;
+    const DRAWS: usize = 300_000;
+    for (seed, s) in [(21u64, 0.8f64), (22, 1.0), (23, 1.2)] {
+        let counts = rank_counts(N, s, seed, DRAWS);
+        for k in [16usize, 64, 256] {
+            let got = counts.iter().take(k).sum::<u64>() as f64 / DRAWS as f64;
+            let want = zipf_head_mass(N, s, k);
+            assert!(
+                (got - want).abs() < 0.02,
+                "s={s} top-{k}: empirical mass {got:.4}, analytic {want:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zipf_head_mass_grows_with_exponent() {
+    const N: usize = 2048;
+    let mass = |s: f64, seed: u64| {
+        rank_counts(N, s, seed, 100_000)
+            .iter()
+            .take(64)
+            .sum::<u64>()
+    };
+    let (m08, m10, m12) = (mass(0.8, 31), mass(1.0, 32), mass(1.2, 33));
+    assert!(
+        m08 < m10 && m10 < m12,
+        "head mass not monotone: {m08} {m10} {m12}"
+    );
+}
+
+/// Drain every stream of a freshly built workload into one flat op list.
+fn all_ops(app: AppId, seed: u64) -> Vec<(usize, Op)> {
+    let mut wl = app.build(4, seed, Scale::SMOKE);
+    let mut v = Vec::new();
+    for (p, s) in wl.streams.iter_mut().enumerate() {
+        while let Some(op) = s.next_op() {
+            v.push((p, op));
+        }
+    }
+    v
+}
+
+#[test]
+fn traffic_streams_are_deterministic_in_the_seed() {
+    for app in AppId::TRAFFIC {
+        assert_eq!(
+            all_ops(app, 42),
+            all_ops(app, 42),
+            "{app}: same seed must give an identical op stream"
+        );
+        assert_ne!(
+            all_ops(app, 42),
+            all_ops(app, 43),
+            "{app}: different seeds should differ"
+        );
+    }
+}
+
+#[test]
+fn traffic_compiled_arenas_are_byte_identical_across_builds() {
+    for app in AppId::TRAFFIC {
+        let a = OpArena::compile(app.build(4, 7, Scale::SMOKE).streams);
+        let b = OpArena::compile(app.build(4, 7, Scale::SMOKE).streams);
+        assert_eq!(a.records(), b.records(), "{app}: compiled bytes diverge");
+        assert!(a.len() > 1_000, "{app}: suspiciously short trace");
+    }
+}

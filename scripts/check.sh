@@ -29,6 +29,13 @@ cargo run --release --offline -p coma-cli --bin coma -- \
 COMA_SCALE=smoke COMA_OUT=$(mktemp -d) \
   cargo run --release --offline -p coma-experiments --bin hierarchy -- --smoke
 
+echo "==> traffic smoke: both production-traffic families through the sweep"
+# The kv_zipf + graph_bfs corner matrix (two pressures, two clustering
+# degrees, COMA vs the NUMA anchors) through the cached sweep engine,
+# producing the traffic csv/svg into a scratch dir.
+COMA_SCALE=smoke COMA_OUT=$(mktemp -d) \
+  cargo run --release --offline -p coma-experiments --bin traffic -- --smoke
+
 echo "==> bench + perf guard: 3 iterations per case, minima vs baseline"
 # The bench overwrites the tracked baseline, so park it first. Three
 # iterations give a usable per-case minimum (the least noise-contaminated

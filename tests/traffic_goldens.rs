@@ -1,0 +1,122 @@
+//! Golden regressions for the production-shaped traffic families:
+//! byte-identical report snapshots (like the FFT/Barnes goldens in
+//! `memory_system.rs`) pinning both generators under both memory models.
+//! Any change here means a generator's op stream or the protocol
+//! machinery it exercises changed behavior.
+
+use coma::sim::{run_simulation, MemoryModel, SimParams};
+use coma::types::MemoryPressure;
+use coma::workloads::{AppId, Scale};
+
+/// KV-store parameters from the issue: 2 procs/node at 81.25 % MP —
+/// enough pressure that replicas of the hot set start competing with
+/// masters for AM capacity.
+fn kv_params() -> SimParams {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = 2;
+    params.machine.memory_pressure = MemoryPressure::MP_81;
+    params
+}
+
+/// Byte-identical COMA totals for the Zipf key-value family
+/// (16 procs, seed 42, SMOKE). Pins the shard-lock transaction path and
+/// the hot-line replication behavior.
+#[test]
+fn golden_kv_zipf_coma_totals() {
+    let r = run_simulation(AppId::KvZipf.build(16, 42, Scale::SMOKE), &kv_params());
+    assert_eq!(r.counts.total_reads(), 134_436);
+    assert_eq!(r.counts.total_writes(), 19_232);
+    assert_eq!(r.counts.read_node_misses(), 62_922);
+    assert_eq!(r.traffic.read_bytes, 4_530_384);
+    assert_eq!(r.traffic.write_bytes, 94_128);
+    assert_eq!(r.traffic.replace_bytes, 93_840);
+    assert_eq!(r.traffic.read_txns, 62_922);
+    assert_eq!(r.traffic.write_txns, 11_750);
+    assert_eq!(r.traffic.replace_txns, 2_290);
+    assert_eq!(r.injections, 1_180);
+    assert_eq!(r.ownership_migrations, 1_110);
+    assert_eq!(r.shared_drops, 30_271);
+    assert_eq!(r.cold_allocs, 12_867);
+    assert_eq!(r.exec_time_ns, 14_728_216);
+}
+
+/// The NUMA twin of the test above: same trace, first-touch homes. The
+/// hot keys pile onto their home nodes, so node misses rise 62 922 →
+/// 91 883 — the replication advantage the EXPERIMENTS.md traffic section
+/// quantifies, pinned here byte-for-byte.
+#[test]
+fn golden_kv_zipf_numa_totals() {
+    let mut params = kv_params();
+    params.memory_model = MemoryModel::Numa;
+    let r = run_simulation(AppId::KvZipf.build(16, 42, Scale::SMOKE), &params);
+    assert_eq!(r.counts.total_reads(), 134_436);
+    assert_eq!(r.counts.total_writes(), 19_232);
+    assert_eq!(r.counts.read_node_misses(), 91_883);
+    assert_eq!(r.traffic.read_bytes, 6_615_576);
+    assert_eq!(r.traffic.write_bytes, 96_352);
+    assert_eq!(r.traffic.replace_bytes, 187_488);
+    assert_eq!(r.traffic.read_txns, 91_883);
+    assert_eq!(r.traffic.write_txns, 12_036);
+    assert_eq!(r.traffic.replace_txns, 2_604);
+    assert_eq!(r.injections, 0);
+    assert_eq!(r.ownership_migrations, 0);
+    assert_eq!(r.shared_drops, 0);
+    assert_eq!(r.cold_allocs, 0);
+    assert_eq!(r.exec_time_ns, 18_434_619);
+}
+
+/// Graph parameters from the issue: 4-processor nodes at the paper's
+/// highest pressure (87.5 % MP) — the worst case for attraction
+/// memories driving near-uniform traffic.
+fn graph_params() -> SimParams {
+    let mut params = SimParams::default();
+    params.machine.procs_per_node = 4;
+    params.machine.memory_pressure = MemoryPressure::MP_87;
+    params
+}
+
+/// Byte-identical COMA totals for the irregular-graph family
+/// (16 procs, seed 42, SMOKE): scattered claims, streamed CSR rows and
+/// dependent pointer chases under a wide node.
+#[test]
+fn golden_graph_bfs_coma_4ppn_totals() {
+    let r = run_simulation(AppId::GraphBfs.build(16, 42, Scale::SMOKE), &graph_params());
+    assert_eq!(r.counts.total_reads(), 291_655);
+    assert_eq!(r.counts.total_writes(), 64_871);
+    assert_eq!(r.counts.read_node_misses(), 76_933);
+    assert_eq!(r.traffic.read_bytes, 5_539_176);
+    assert_eq!(r.traffic.write_bytes, 394_160);
+    assert_eq!(r.traffic.replace_bytes, 64_784);
+    assert_eq!(r.traffic.read_txns, 76_933);
+    assert_eq!(r.traffic.write_txns, 44_990);
+    assert_eq!(r.traffic.replace_txns, 986);
+    assert_eq!(r.injections, 889);
+    assert_eq!(r.ownership_migrations, 97);
+    assert_eq!(r.shared_drops, 1_611);
+    assert_eq!(r.cold_allocs, 24_208);
+    assert_eq!(r.exec_time_ns, 28_380_540);
+}
+
+/// The NUMA twin: with no replication at all, nearly every probe of a
+/// remote vertex goes to its home (node misses 76 933 → 144 575), and
+/// replacement traffic through the fixed home mapping explodes.
+#[test]
+fn golden_graph_bfs_numa_4ppn_totals() {
+    let mut params = graph_params();
+    params.memory_model = MemoryModel::Numa;
+    let r = run_simulation(AppId::GraphBfs.build(16, 42, Scale::SMOKE), &params);
+    assert_eq!(r.counts.total_reads(), 291_655);
+    assert_eq!(r.counts.total_writes(), 64_871);
+    assert_eq!(r.counts.read_node_misses(), 144_575);
+    assert_eq!(r.traffic.read_bytes, 10_409_400);
+    assert_eq!(r.traffic.write_bytes, 495_416);
+    assert_eq!(r.traffic.replace_bytes, 1_008_072);
+    assert_eq!(r.traffic.read_txns, 144_575);
+    assert_eq!(r.traffic.write_txns, 57_319);
+    assert_eq!(r.traffic.replace_txns, 14_001);
+    assert_eq!(r.injections, 0);
+    assert_eq!(r.ownership_migrations, 0);
+    assert_eq!(r.shared_drops, 0);
+    assert_eq!(r.cold_allocs, 0);
+    assert_eq!(r.exec_time_ns, 33_067_463);
+}
